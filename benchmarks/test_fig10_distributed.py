@@ -1,0 +1,48 @@
+"""Figure 10 — distributed data-parallel training throughput.
+
+The paper compares PyTorch all-reduce, ByteScheduler, Egeria and
+Egeria+ByteScheduler on 2–5 machines (2 GPUs each).  Egeria's benefit comes
+mostly from the skipped computation, plus up to ~5% from the reduced gradient
+synchronization volume; ByteScheduler alone helps little for these
+computation-bound models and can even dip slightly below the baseline.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig10_distributed
+from repro.sim import SchedulePolicy
+
+
+def test_fig10_distributed_resnet(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig10_distributed(workload_name="resnet50_imagenet", scale=scale,
+                                      machine_counts=(2, 3, 4, 5)),
+        rounds=1, iterations=1,
+    )
+    print_rows(f"Figure 10: throughput (samples/s), {result['workload']}", result["rows"])
+
+    assert len(result["rows"]) == 4
+    for row in result["rows"]:
+        # Egeria beats the vanilla baseline at every cluster size.
+        assert row[SchedulePolicy.EGERIA] > row[SchedulePolicy.VANILLA]
+        # Egeria + ByteScheduler is at least in Egeria's ballpark (within its
+        # small scheduling overhead).
+        assert row[SchedulePolicy.EGERIA_BYTESCHEDULER] > row[SchedulePolicy.VANILLA]
+        # ByteScheduler alone stays close to the baseline for this
+        # computation-bound model (within a few percent either way).
+        ratio = row[SchedulePolicy.BYTESCHEDULER] / row[SchedulePolicy.VANILLA]
+        assert 0.9 <= ratio <= 1.3
+    # Throughput scales up with the number of machines for every policy.
+    vanilla_series = [row[SchedulePolicy.VANILLA] for row in result["rows"]]
+    assert vanilla_series == sorted(vanilla_series)
+
+
+def test_fig10_distributed_transformer(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig10_distributed(workload_name="transformer_base_wmt16", scale=scale,
+                                      machine_counts=(2, 5)),
+        rounds=1, iterations=1,
+    )
+    print_rows(f"Figure 10: throughput (samples/s), {result['workload']}", result["rows"])
+    for row in result["rows"]:
+        assert row[SchedulePolicy.EGERIA] > row[SchedulePolicy.VANILLA]

@@ -1,0 +1,37 @@
+"""Figure 11 — freezing and unfreezing decisions across a ResNet training run.
+
+The paper visualises the fraction of active (unfrozen) parameters per epoch:
+Egeria gradually freezes front modules, unfreezes everything when the LR drops
+by 10x, then re-freezes quickly thanks to the halved window.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig11_freezing_decisions
+
+
+def test_fig11_freezing_decisions(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig11_freezing_decisions(scale=scale), rounds=1, iterations=1)
+
+    print_rows("Figure 11: freeze/unfreeze events", result["timeline"])
+    fractions = result["active_fraction_per_epoch"]
+    print(f"active parameter fraction per epoch: {[round(f, 2) for f in fractions]}")
+    print(f"module sizes: {result['module_sizes']}")
+
+    # Freezing decisions were actually made during the run.
+    assert result["timeline"], "Egeria made no freezing decisions"
+    freeze_events = [e for e in result["timeline"] if e["action"] in ("freeze", "refreeze")]
+    assert freeze_events
+    # Modules are frozen front-to-back (non-decreasing module index between unfreezes).
+    indices = []
+    for event in result["timeline"]:
+        if event["action"] == "unfreeze":
+            indices.clear()
+            continue
+        indices.append(event["module_index"])
+        assert indices == sorted(indices)
+    # The active-parameter fraction drops below 1.0 at some point in training.
+    assert min(fractions) < 1.0
+    # The deep stage holds most parameters (the Figure 11 size breakdown).
+    sizes = list(result["module_sizes"].values())
+    assert max(sizes) > sum(sizes) * 0.3

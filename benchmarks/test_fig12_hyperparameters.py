@@ -1,0 +1,31 @@
+"""Figure 12 — sensitivity of the hyperparameters n (interval), W (window), T (tolerance).
+
+Following the guideline values balances accuracy and speed; doubling W or n
+trains longer without accuracy gain, while halving W or doubling T freezes
+more eagerly (faster but riskier), and halving T virtually disables freezing.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig12_hyperparameters
+
+
+def test_fig12_hyperparameters(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_fig12_hyperparameters(scale=scale), rounds=1, iterations=1)
+    print_rows("Figure 12: hyperparameter sensitivity", rows,
+               keys=["variant", "final_metric", "simulated_time", "frozen_fraction", "time_to_target"])
+
+    by_variant = {row["variant"]: row for row in rows}
+    expected = {"chosen", "n_doubled", "n_halved", "W_doubled", "W_halved", "T_doubled", "T_halved"}
+    assert set(by_variant) == expected
+
+    chosen = by_variant["chosen"]
+    # The chosen configuration freezes a meaningful share of the model.
+    assert chosen["frozen_fraction"] > 0.0
+    # More eager variants (W halved / T doubled) freeze at least as much as
+    # more conservative ones (W doubled / T halved).
+    assert by_variant["T_doubled"]["frozen_fraction"] >= by_variant["T_halved"]["frozen_fraction"] - 1e-9
+    assert by_variant["W_halved"]["frozen_fraction"] >= by_variant["W_doubled"]["frozen_fraction"] - 1e-9
+    # No variant catastrophically destroys accuracy on this workload (>20% drop).
+    for row in rows:
+        assert row["final_metric"] >= chosen["final_metric"] - 0.25

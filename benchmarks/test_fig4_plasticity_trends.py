@@ -1,0 +1,46 @@
+"""Figure 4 — plasticity of layer modules during training.
+
+Plasticity (SP loss against a partially-trained reference model) drops quickly
+for the front modules and stays low, while the deep modules keep changing —
+the signal Egeria exploits to decide which modules are safe to freeze.
+"""
+
+import numpy as np
+from conftest import print_rows
+
+from repro.experiments import run_fig4_plasticity_trends
+
+
+def test_fig4_plasticity_trends(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig4_plasticity_trends(scale=scale), rounds=1, iterations=1)
+
+    rows = []
+    for name in result["module_names"]:
+        series = result["plasticity"].get(name, [])
+        if not series:
+            continue
+        rows.append({
+            "module": name,
+            "initial_plasticity": series[0],
+            "final_plasticity": series[-1],
+            "mean_late_half": float(np.mean(series[len(series) // 2:])),
+        })
+    print_rows("Figure 4: plasticity per layer module", rows)
+    print(f"validation accuracy curve: {[round(a, 2) for a in result['accuracy']]}")
+
+    assert rows, "no plasticity series recorded"
+    # Plasticity is a non-negative SP loss.
+    for name, series in result["plasticity"].items():
+        assert all(value >= 0.0 for value in series)
+    # The paper's Figure 4 observation: the front module's plasticity sits far
+    # below the deepest monitored module's plasticity in the later training
+    # stages (front layers converge first, deep layers keep moving).
+    front = result["module_names"][0]
+    deep = result["module_names"][-1]
+    front_series = result["plasticity"][front]
+    deep_series = result["plasticity"][deep]
+    front_late = float(np.mean(front_series[len(front_series) // 2:]))
+    deep_late = float(np.mean(deep_series[len(deep_series) // 2:]))
+    assert front_late < deep_late
+    # Accuracy improves over training alongside the plasticity evolution.
+    assert result["accuracy"][-1] >= result["accuracy"][0]

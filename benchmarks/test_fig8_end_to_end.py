@@ -1,0 +1,32 @@
+"""Figure 8 — end-to-end accuracy curves: Egeria vs AutoFreeze vs Skip-Conv.
+
+The paper shows that Egeria reaches the full-training accuracy while the
+transfer-learning freezing baselines (gradient-metric AutoFreeze, Skip-Conv
+direct-difference gating) lose accuracy when tuned to a similar speedup.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig8_end_to_end
+
+
+def test_fig8_end_to_end_resnet(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig8_end_to_end(scale=scale, workload_name="resnet50_imagenet"),
+        rounds=1, iterations=1,
+    )
+    print_rows(f"Figure 8a: {result['workload']} ({result['metric']})", result["rows"])
+    for system, curve in result["curves"].items():
+        print(f"{system:>12}: {[round(v, 2) for v in curve]}")
+
+    systems = {row["system"] for row in result["rows"]}
+    assert systems == {"vanilla", "egeria", "autofreeze", "skipconv"}
+    rows = {row["system"]: row for row in result["rows"]}
+    # Egeria reaches the vanilla-derived target accuracy (no accuracy sacrifice).
+    assert rows["egeria"]["reached_target"]
+    # Egeria's final accuracy is at least as good as the aggressive freezing
+    # baselines' (the paper's 1.5%+/2.6% gaps for AutoFreeze / Skip-Conv).
+    assert rows["egeria"]["final_metric"] >= rows["autofreeze"]["final_metric"] - 1e-6
+    # Every curve covers the full training run.
+    lengths = {len(curve) for curve in result["curves"].values()}
+    assert len(lengths) == 1

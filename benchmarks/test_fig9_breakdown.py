@@ -1,0 +1,26 @@
+"""Figure 9 — performance breakdown: backward freezing vs forward caching.
+
+The paper decomposes Egeria's speedup into (a) skipping the frozen layers'
+backward pass and (b) additionally serving their forward pass from the
+activation cache; FP caching contributes more for CNNs than language models
+but stays below ~10% of the iteration time.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_fig9_breakdown
+
+
+def test_fig9_breakdown(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_fig9_breakdown(scale=scale), rounds=1, iterations=1)
+    print_rows("Figure 9: normalised iteration time (baseline = 1.0)", rows)
+
+    assert rows
+    for row in rows:
+        # Freezing alone reduces iteration time; caching reduces it further.
+        assert row["freezing_only"] < row["baseline"]
+        assert row["freezing_plus_caching"] <= row["freezing_only"]
+        # FP caching's extra contribution stays below ~10% of the iteration
+        # (paper: "generally contributes more for CNN models ... but all less
+        # than 10%").
+        assert 0.0 <= row["fp_caching_extra_saving"] <= 0.12

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of Egeria's hot paths.
+
+Not a paper table/figure, but the per-call costs that §6.5's overhead argument
+rests on: SP-loss plasticity evaluation, PWCCA (the ~10x more expensive post
+hoc alternative), reference-model quantization, activation cache store/load,
+and the ring all-reduce cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.analysis import pwcca_distance
+from repro.core import ActivationCache, sp_loss
+from repro.core.reference import ReferenceModel
+from repro.quantization import INT8, fake_quantize
+from repro.sim import AllReduceModel, paper_testbed_cluster
+
+
+@pytest.fixture(scope="module")
+def activations():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((16, 16, 8, 8)).astype(np.float32)
+    b = a + 0.05 * rng.standard_normal(a.shape).astype(np.float32)
+    return a, b
+
+
+def test_sp_loss_speed(benchmark, activations):
+    a, b = activations
+    value = benchmark(sp_loss, a, b)
+    assert value >= 0.0
+
+
+def test_pwcca_speed(benchmark, activations):
+    a, b = activations
+    value = benchmark(pwcca_distance, a, b)
+    assert 0.0 <= value <= 1.0
+
+
+def test_sp_loss_cheaper_than_pwcca(activations):
+    """The paper motivates SP loss partly by its ~10x lower cost than PWCCA."""
+    import time
+
+    a, b = activations
+
+    def timed(fn, repeats=5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn(a, b)
+        return (time.perf_counter() - start) / repeats
+
+    assert timed(sp_loss) < timed(pwcca_distance)
+
+
+def test_int8_quantization_speed(benchmark):
+    rng = np.random.default_rng(1)
+    weights = rng.standard_normal((64, 64, 3, 3)).astype(np.float32)
+    out = benchmark(fake_quantize, weights, INT8)
+    assert out.shape == weights.shape
+
+
+def test_reference_generation_speed(benchmark):
+    model = models.resnet8(num_classes=10, seed=0)
+    reference = ReferenceModel(lambda: models.resnet8(num_classes=10, seed=0), precision="int8")
+    benchmark(reference.generate, model)
+    assert reference.model is not None
+
+
+def test_cache_store_load_speed(benchmark, tmp_path):
+    cache = ActivationCache(cache_dir=str(tmp_path), memory_batches=5, batch_size=16)
+    activation = np.random.default_rng(2).standard_normal((16, 8, 8)).astype(np.float32)
+
+    def store_and_load():
+        cache.store(0, activation)
+        return cache.load(0)
+
+    loaded = benchmark(store_and_load)
+    assert loaded is not None and loaded.shape == activation.shape
+
+
+def test_allreduce_model_speed(benchmark):
+    cluster = paper_testbed_cluster()
+    allreduce = AllReduceModel(cluster)
+    workers = cluster.workers(num_machines=5, gpus_per_machine=2)
+    seconds = benchmark(allreduce.allreduce_seconds, 25_000_000 * 4, workers)
+    assert seconds > 0.0

@@ -1,0 +1,27 @@
+"""§6.5 — system overhead: reference-model cost and activation-cache storage.
+
+The paper measures: reference generation/update takes 0.5–1.5 s, running it on
+CPU adds at most ~1.5% to training time, and cached activations occupy
+1.5x–5.3x the input size for ResNet-50 (model dependent).
+"""
+
+from conftest import print_rows
+
+from repro.experiments import run_overhead_analysis
+
+
+def test_overhead_analysis(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_overhead_analysis(scale=scale), rounds=1, iterations=1)
+    print_rows("§6.5 overhead analysis", [result])
+
+    # Reference generation is cheap at this scale (well under a second per update).
+    assert result["reference_generation_seconds_mean"] < 1.5
+    # The cost model budgets the reference overhead at ~1.5% of iteration time.
+    assert result["reference_overhead_fraction_model"] <= 0.05
+    # The activation cache stored something and its per-sample footprint is a
+    # small multiple of the input size (paper: 1.5x-5.3x for ResNet-50).
+    assert result["cache_bytes_written"] > 0
+    assert 0.1 <= result["activation_to_input_ratio"] <= 10.0
+    # The forward pass is a minority—but substantial—share of an iteration
+    # (paper: up to ~35%).
+    assert 0.2 <= result["fp_fraction_of_iteration"] <= 0.5

@@ -1,0 +1,51 @@
+"""Table 1 — time-to-accuracy speedups of Egeria over the vanilla baseline.
+
+The paper reports 19%–43% TTA speedups across seven model/dataset workloads
+without accuracy loss.  This bench trains vanilla and Egeria on each scaled
+workload, computes the TTA speedup against the vanilla converged accuracy and
+prints the paper-vs-measured rows recorded in EXPERIMENTS.md.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import available_workloads, run_table1_tta
+
+#: CV workloads show the clearest speedups at tiny scale; the NLP workloads
+#: are included for structure/accuracy verification and run with the rest.
+_WORKLOADS = (
+    "resnet56_cifar10",
+    "resnet50_imagenet",
+    "mobilenet_v2_cifar10",
+    "transformer_tiny_wmt16",
+    "bert_squad",
+)
+
+
+def test_table1_tta_speedup(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1_tta(scale=scale, workload_names=_WORKLOADS),
+        rounds=1, iterations=1,
+    )
+    print_rows("Table 1: TTA speedups (paper vs measured)", rows,
+               keys=["workload", "paper_model", "metric", "paper_tta_speedup", "measured_tta_speedup",
+                     "vanilla_final", "egeria_final", "egeria_reached_target"])
+
+    assert len(rows) == len(_WORKLOADS)
+    # Egeria must reach the vanilla-derived accuracy target on every workload
+    # (the paper's "without sacrificing accuracy" claim).
+    assert all(row["egeria_reached_target"] for row in rows)
+    # And at least the CNN workloads (where the deep stages dominate the
+    # parameter count and training is long enough for freezing to engage)
+    # must show a positive TTA speedup.
+    cnn_rows = [row for row in rows if row["workload"].startswith(("resnet", "mobilenet"))]
+    assert any(row["measured_tta_speedup"] is not None and row["measured_tta_speedup"] > 0.0
+               for row in cnn_rows)
+
+
+def test_table1_full_workload_coverage(benchmark, scale):
+    """The registry covers all seven Table 1 workloads (cheap structural check)."""
+    names = benchmark(available_workloads)
+    assert set(names) == {
+        "resnet56_cifar10", "resnet50_imagenet", "mobilenet_v2_cifar10", "deeplabv3_voc",
+        "transformer_base_wmt16", "transformer_tiny_wmt16", "bert_squad",
+    }

@@ -1,0 +1,42 @@
+"""Quickstart: train a ResNet with Egeria and compare against full training.
+
+Runs the smallest end-to-end Egeria workflow:
+
+1. build a synthetic CIFAR-like workload (ResNet-8 backbone scaled from the
+   paper's ResNet-56 setup);
+2. train it once with the vanilla baseline and once with Egeria's
+   knowledge-guided layer freezing;
+3. print the freezing timeline, the accuracy of both runs, and the
+   time-to-accuracy speedup.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.experiments import build_workload, compare_systems, format_rows, run_trainer
+
+
+def main() -> None:
+    workload = build_workload("resnet56_cifar10", scale="tiny", seed=0)
+    print(f"Workload: {workload.paper_model} on {workload.train_dataset.parent.__class__.__name__} "
+          f"({workload.num_epochs} epochs, batch size {workload.batch_size})")
+
+    print("\nTraining vanilla baseline and Egeria ...")
+    rows = compare_systems(workload, systems=("vanilla", "egeria"))
+    print(format_rows(rows))
+
+    print("\nEgeria freezing timeline:")
+    egeria_run = run_trainer("egeria", workload)
+    for event in egeria_run["timeline"]:
+        print(f"  iteration {event['iteration']:>4}: {event['action']:<9} {event['module']:<20} "
+              f"active params {event['active_parameter_fraction']:.0%}")
+
+    summary = egeria_run["summary"]
+    print(f"\nFinal frozen fraction: {summary['frozen_fraction']:.0%}")
+    print(f"Plasticity evaluations: {summary['controller']['evaluations_done']}")
+    print(f"Forward passes served from the activation cache: {summary['fp_skipped_iterations']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Egeria on NLP workloads: Transformer translation and BERT fine-tuning.
+
+Reproduces the two language workloads of the paper's evaluation at miniature
+scale:
+
+* machine translation with an encoder–decoder Transformer (the paper's
+  Transformer-Base/Tiny on WMT16) — Egeria freezes front *encoder* layers;
+* extractive question answering by fine-tuning a pre-trained BERT-lite (the
+  paper's BERT on SQuAD 1.0) — the fine-tuning regime where freezing pays off
+  almost immediately.
+
+Run with::
+
+    python examples/translation_and_finetuning.py
+"""
+
+from repro.experiments import build_workload, run_trainer
+
+
+def show_run(title: str, result) -> None:
+    history = result["history"]
+    print(f"\n--- {title} ---")
+    print(f"metric per epoch: {[round(m, 2) for m in history.metrics()]}")
+    print(f"frozen fraction per epoch: {[round(f, 2) for f in history.frozen_fractions()]}")
+    print(f"final metric: {result['final_metric']:.3f}   simulated time: {result['simulated_time']:.4f}s")
+    if result.get("timeline"):
+        frozen_modules = [e["module"] for e in result["timeline"] if e["action"] in ("freeze", "refreeze")]
+        print(f"frozen modules (in order): {frozen_modules}")
+
+
+def main() -> None:
+    # Machine translation: Transformer-Tiny on the synthetic WMT16 stand-in.
+    translation = build_workload("transformer_tiny_wmt16", scale="tiny", seed=0)
+    print(f"Translation workload: {translation.paper_model}, {translation.num_epochs} epochs")
+    baseline = run_trainer("vanilla", translation)
+    egeria = run_trainer("egeria", translation)
+    show_run("Transformer-Tiny, vanilla (perplexity, lower is better)", baseline)
+    show_run("Transformer-Tiny, Egeria", egeria)
+
+    # Question answering: fine-tune a pre-trained BERT-lite on synthetic SQuAD.
+    qa = build_workload("bert_squad", scale="tiny", seed=0)
+    print(f"\nQA workload: {qa.paper_model}, {qa.num_epochs} epochs (fine-tuning)")
+    qa_baseline = run_trainer("vanilla", qa)
+    qa_egeria = run_trainer("egeria", qa)
+    show_run("BERT fine-tuning, vanilla (span F1)", qa_baseline)
+    show_run("BERT fine-tuning, Egeria", qa_egeria)
+
+
+if __name__ == "__main__":
+    main()

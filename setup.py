@@ -1,0 +1,10 @@
+"""Setup shim so legacy editable installs work in offline environments.
+
+The execution environment has no ``wheel`` package, which breaks PEP 517
+editable installs; ``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop`` when this file is present.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""PWCCA: projection-weighted canonical correlation analysis.
+
+Figure 1 of the paper uses PWCCA (Morcos et al., NeurIPS 2018) as a *post hoc*
+layer-convergence analysis: the intermediate activation of each layer during
+training is compared against the same layer of a fully-trained model; a low
+score means the layer has converged to its final representation.  The paper
+uses it only for motivation (it requires a fully-trained model, which is not
+available during real training) and contrasts it with plasticity, which needs
+no prior knowledge and is ~10x cheaper.
+
+Implementation notes
+--------------------
+Given two activation matrices ``X (n x d1)`` and ``Y (n x d2)`` (samples x
+features), CCA finds directions maximising correlation.  PWCCA weights the
+canonical correlations by how much of ``X`` each canonical direction explains.
+We return ``1 - pwcca_similarity`` as the *distance* so that, like Figure 1,
+lower means "closer to the fully-trained model".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["cca_correlations", "pwcca_similarity", "pwcca_distance"]
+
+
+def _flatten_activation(activation: np.ndarray) -> np.ndarray:
+    """Reshape an activation tensor to (samples, features)."""
+    array = np.asarray(activation, dtype=np.float64)
+    if array.ndim == 2:
+        return array
+    if array.ndim == 4:
+        # (N, C, H, W) -> treat each spatial position as a sample, channels as features.
+        n, c, h, w = array.shape
+        return array.transpose(0, 2, 3, 1).reshape(n * h * w, c)
+    return array.reshape(array.shape[0], -1)
+
+
+def _center(matrix: np.ndarray) -> np.ndarray:
+    return matrix - matrix.mean(axis=0, keepdims=True)
+
+
+def cca_correlations(x: np.ndarray, y: np.ndarray, epsilon: float = 1e-8,
+                     max_dims: Optional[int] = 32) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical correlations between two activation matrices.
+
+    Returns ``(correlations, x_directions)`` where ``x_directions`` are the
+    canonical directions in the (possibly dimensionality-reduced) ``x`` space,
+    needed for the projection weighting.
+    """
+    x = _center(_flatten_activation(x))
+    y = _center(_flatten_activation(y))
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"sample counts differ: {x.shape[0]} vs {y.shape[0]}")
+
+    # Reduce dimensionality with SVD for numerical stability (and speed).
+    def _reduce(m: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        u, s, _vt = np.linalg.svd(m, full_matrices=False)
+        keep = s > epsilon * s.max() if s.size else np.array([], dtype=bool)
+        if max_dims is not None:
+            keep[max_dims:] = False
+        return u[:, keep], s[keep]
+
+    ux, _sx = _reduce(x)
+    uy, _sy = _reduce(y)
+    if ux.shape[1] == 0 or uy.shape[1] == 0:
+        return np.zeros(1), np.zeros((x.shape[0], 1))
+
+    # With whitened bases, canonical correlations are the singular values of ux^T uy.
+    qx, qy = ux, uy
+    u, s, _vt = np.linalg.svd(qx.T @ qy, full_matrices=False)
+    correlations = np.clip(s, 0.0, 1.0)
+    x_directions = qx @ u
+    return correlations, x_directions
+
+
+def pwcca_similarity(x: np.ndarray, y: np.ndarray, max_dims: Optional[int] = 32) -> float:
+    """Projection-weighted CCA similarity in [0, 1] (1 = identical subspaces)."""
+    x_flat = _center(_flatten_activation(x))
+    correlations, x_directions = cca_correlations(x, y, max_dims=max_dims)
+    if correlations.size == 0:
+        return 0.0
+    # Weight each canonical correlation by how much of X it accounts for.
+    projections = np.abs(x_directions.T @ x_flat)
+    weights = projections.sum(axis=1)
+    total = weights.sum()
+    if total <= 0:
+        weights = np.ones_like(correlations) / len(correlations)
+    else:
+        weights = weights / total
+    k = min(len(weights), len(correlations))
+    return float(np.sum(weights[:k] * correlations[:k]))
+
+
+def pwcca_distance(training_activation: np.ndarray, reference_activation: np.ndarray,
+                   max_dims: Optional[int] = 32) -> float:
+    """PWCCA distance in [0, 1]; lower means the layer is closer to converged.
+
+    This is the score plotted in Figure 1 (against a fully-trained model).
+    """
+    return 1.0 - pwcca_similarity(training_activation, reference_activation, max_dims=max_dims)

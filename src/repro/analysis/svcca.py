@@ -1,0 +1,51 @@
+"""SVCCA: singular-vector canonical correlation analysis.
+
+SVCCA (Raghu et al., NeurIPS 2017) is the precursor of PWCCA referenced in the
+paper's related work ([73]): activations are first reduced to the top singular
+directions explaining a target fraction of variance, then plain CCA is applied
+and the mean canonical correlation reported.  Included for completeness of the
+post hoc analysis toolkit (it behaves like PWCCA without projection
+weighting); the convergence-analysis bench can use either.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .pwcca import _center, _flatten_activation, cca_correlations
+
+__all__ = ["svcca_similarity", "svcca_distance", "truncate_to_variance"]
+
+
+def truncate_to_variance(matrix: np.ndarray, variance_fraction: float = 0.99,
+                         max_dims: Optional[int] = 32) -> np.ndarray:
+    """Project samples onto the top singular directions explaining the variance."""
+    centered = _center(_flatten_activation(matrix))
+    u, s, _vt = np.linalg.svd(centered, full_matrices=False)
+    if s.size == 0:
+        return centered
+    energy = np.cumsum(s ** 2) / np.sum(s ** 2)
+    keep = int(np.searchsorted(energy, variance_fraction) + 1)
+    if max_dims is not None:
+        keep = min(keep, max_dims)
+    keep = max(keep, 1)
+    return u[:, :keep] * s[:keep]
+
+
+def svcca_similarity(x: np.ndarray, y: np.ndarray, variance_fraction: float = 0.99,
+                     max_dims: Optional[int] = 32) -> float:
+    """Mean canonical correlation after SVD truncation (1 = identical)."""
+    x_reduced = truncate_to_variance(x, variance_fraction, max_dims)
+    y_reduced = truncate_to_variance(y, variance_fraction, max_dims)
+    correlations, _directions = cca_correlations(x_reduced, y_reduced, max_dims=max_dims)
+    if correlations.size == 0:
+        return 0.0
+    return float(np.mean(correlations))
+
+
+def svcca_distance(x: np.ndarray, y: np.ndarray, variance_fraction: float = 0.99,
+                   max_dims: Optional[int] = 32) -> float:
+    """SVCCA distance in [0, 1]; lower means more similar representations."""
+    return 1.0 - svcca_similarity(x, y, variance_fraction, max_dims)

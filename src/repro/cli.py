@@ -1,0 +1,112 @@
+"""Command-line interface for the Egeria reproduction.
+
+Three subcommands mirror the typical workflows:
+
+``python -m repro.cli list``
+    Show the seven Table 1 workloads and the systems that can train them.
+
+``python -m repro.cli train --workload resnet56_cifar10 --system egeria``
+    Train one workload with one system and print the per-epoch history plus
+    (for Egeria) the freezing timeline.
+
+``python -m repro.cli compare --workload resnet56_cifar10``
+    Run vanilla + Egeria (or any set of systems) on one workload and print the
+    TTA-speedup comparison rows, i.e. one row of Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    SYSTEMS,
+    available_workloads,
+    build_workload,
+    compare_systems,
+    format_rows,
+    run_trainer,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Egeria: knowledge-guided DNN layer freezing (EuroSys 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available workloads and systems")
+
+    train = subparsers.add_parser("train", help="train one workload with one system")
+    train.add_argument("--workload", required=True, choices=available_workloads())
+    train.add_argument("--system", default="egeria", choices=list(SYSTEMS))
+    train.add_argument("--scale", default="tiny", choices=["tiny", "small"])
+    train.add_argument("--epochs", type=int, default=None, help="override the workload's epoch count")
+    train.add_argument("--seed", type=int, default=0)
+
+    compare = subparsers.add_parser("compare", help="compare systems on one workload (Table 1 row)")
+    compare.add_argument("--workload", required=True, choices=available_workloads())
+    compare.add_argument("--systems", nargs="+", default=["vanilla", "egeria"],
+                         choices=list(SYSTEMS))
+    compare.add_argument("--scale", default="tiny", choices=["tiny", "small"])
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Workloads (Table 1):")
+    for name in available_workloads():
+        workload = build_workload(name, scale="tiny")
+        print(f"  {name:<26} {workload.paper_model:<26} "
+              f"metric={workload.task.metric_name:<11} paper speedup={workload.paper_tta_speedup:.0%}")
+    print("\nSystems:")
+    for system in SYSTEMS:
+        print(f"  {system}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    result = run_trainer(args.system, workload, num_epochs=args.epochs)
+    history = result["history"]
+    print(f"{args.system} on {args.workload} ({args.scale} scale)")
+    print(f"{'epoch':>5} {'loss':>8} {workload.task.metric_name:>10} {'frozen%':>8} {'sim-time':>10}")
+    for record in history.records:
+        print(f"{record.epoch:>5} {record.train_loss:>8.4f} {record.metric:>10.4f} "
+              f"{record.frozen_fraction:>8.0%} {record.simulated_time:>10.4f}")
+    if result.get("timeline"):
+        print("\nFreezing timeline:")
+        for event in result["timeline"]:
+            print(f"  iter {event['iteration']:>5}: {event['action']:<9} {event['module']}")
+    print(f"\nFinal {workload.task.metric_name}: {result['final_metric']:.4f}  "
+          f"simulated time: {result['simulated_time']:.4f}s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    systems = list(dict.fromkeys(["vanilla"] + list(args.systems)))  # vanilla is the TTA anchor
+    rows = compare_systems(workload, systems=systems)
+    print(format_rows(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""``repro.core`` — Egeria itself: plasticity, reference model, freezing, caching.
+
+This package is the paper's primary contribution: the knowledge-guided
+training system that evaluates per-layer training plasticity against a
+quantized reference model, freezes converged layer modules (skipping their
+backward computation and gradient synchronization), and caches/prefetches the
+frozen prefix's activations to skip its forward pass as well.
+"""
+
+from .cache import ActivationCache, CacheStats, Prefetcher
+from .config import EgeriaConfig
+from .controller import EgeriaController
+from .freezing import FreezeEvent, FreezingEngine
+from .hooks import ActivationRecorder
+from .modules import LayerModule, active_parameter_fraction, building_blocks, parse_layer_modules
+from .plasticity import (
+    PlasticityTracker,
+    direct_difference_loss,
+    moving_average,
+    similarity_matrix,
+    sp_loss,
+    windowed_slope,
+)
+from .queues import EvaluationChannels, SPSCQueue
+from .reference import ReferenceModel, ReferenceModelStats
+from .tasks import (
+    ClassificationTask,
+    QuestionAnsweringTask,
+    SegmentationTask,
+    TaskAdapter,
+    TranslationTask,
+    make_task,
+)
+from .trainer import BaseTrainer, EgeriaTrainer
+from .worker import EgeriaWorker
+
+__all__ = [
+    "EgeriaConfig",
+    "EgeriaTrainer",
+    "BaseTrainer",
+    "EgeriaController",
+    "EgeriaWorker",
+    "FreezingEngine",
+    "FreezeEvent",
+    "ReferenceModel",
+    "ReferenceModelStats",
+    "ActivationCache",
+    "CacheStats",
+    "Prefetcher",
+    "ActivationRecorder",
+    "LayerModule",
+    "parse_layer_modules",
+    "building_blocks",
+    "active_parameter_fraction",
+    "PlasticityTracker",
+    "sp_loss",
+    "similarity_matrix",
+    "direct_difference_loss",
+    "moving_average",
+    "windowed_slope",
+    "SPSCQueue",
+    "EvaluationChannels",
+    "TaskAdapter",
+    "ClassificationTask",
+    "SegmentationTask",
+    "TranslationTask",
+    "QuestionAnsweringTask",
+    "make_task",
+]

@@ -1,0 +1,92 @@
+"""Forward-hook utilities for capturing intermediate activations.
+
+Egeria's worker "uses hooks to obtain the intermediate activation tensors"
+(§4.1.1) from both the training model and the reference model — the same hook
+set is added to both so their activations can be compared layer by layer
+(§5).  :class:`ActivationRecorder` wraps that pattern: attach it to a set of
+module paths, run a forward pass, read the captured activations, detach when
+done.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["ActivationRecorder"]
+
+
+class ActivationRecorder:
+    """Capture the outputs of named submodules during forward passes.
+
+    Parameters
+    ----------
+    model:
+        The model whose submodules should be hooked.
+    module_paths:
+        Dotted paths (as accepted by ``Module.get_submodule``) of the blocks
+        whose output activations should be recorded.  For Egeria these are the
+        *tail* blocks of the layer modules being monitored.
+    detach:
+        Store plain numpy copies (default) rather than graph-connected
+        tensors; plasticity evaluation never needs gradients.
+    """
+
+    def __init__(self, model: Module, module_paths: Iterable[str], detach: bool = True):
+        self.model = model
+        self.module_paths: List[str] = list(module_paths)
+        self.detach = detach
+        self._activations: Dict[str, np.ndarray] = {}
+        self._handles = []
+        self._attach()
+
+    def _attach(self) -> None:
+        for path in self.module_paths:
+            module = self.model.get_submodule(path)
+
+            def hook(_module, _inputs, output, _path=path):
+                data = output.data if hasattr(output, "data") else np.asarray(output)
+                self._activations[_path] = np.array(data, copy=True) if self.detach else data
+
+            self._handles.append(module.register_forward_hook(hook))
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, path: str) -> Optional[np.ndarray]:
+        """Activation captured for ``path`` in the most recent forward pass."""
+        return self._activations.get(path)
+
+    def activations(self) -> Dict[str, np.ndarray]:
+        """All captured activations keyed by module path."""
+        return dict(self._activations)
+
+    def clear(self) -> None:
+        """Drop captured activations (keeps hooks attached)."""
+        self._activations.clear()
+
+    def remove(self) -> None:
+        """Detach all hooks."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def retarget(self, module_paths: Iterable[str]) -> None:
+        """Re-attach the recorder to a different set of module paths.
+
+        Used when the frontmost active layer module advances: Egeria only
+        needs the activation of the module currently being monitored.
+        """
+        self.remove()
+        self.clear()
+        self.module_paths = list(module_paths)
+        self._attach()
+
+    def __enter__(self) -> "ActivationRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.remove()

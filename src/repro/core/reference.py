@@ -1,0 +1,167 @@
+"""Reference-model lifecycle: generation, execution and periodic updates.
+
+Egeria's reference model (§4.1.3) is "a trained compressed DNN with the same
+architecture as the model being trained": the controller snapshots the
+training model, quantizes it to int8 (dynamic quantization for NLP models,
+static for CNNs) and runs only its forward pass on CPUs to obtain reference
+activations for plasticity evaluation.  The reference is refreshed
+periodically from newer snapshots because "a stale reference model can
+amplify the inherent fluctuations in SGD training".
+
+In this reproduction the "CPU execution" is the same numpy code path; what is
+preserved is (a) the quantization error injected into the reference
+activations, (b) the snapshot/update cadence and staleness accounting, and
+(c) the cost accounting (generation time, per-forward speedup factor) used by
+the overhead analysis in §6.5 and Table 2.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import no_grad
+from ..quantization import PRECISIONS, QuantizationSpec, quantize_state_dict
+from .hooks import ActivationRecorder
+
+__all__ = ["ReferenceModel", "ReferenceModelStats"]
+
+
+@dataclass
+class ReferenceModelStats:
+    """Bookkeeping about reference-model generation and execution."""
+
+    generations: int = 0
+    updates: int = 0
+    forward_passes: int = 0
+    total_generation_seconds: float = 0.0
+    total_forward_seconds: float = 0.0
+    last_snapshot_iteration: int = -1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "generations": self.generations,
+            "updates": self.updates,
+            "forward_passes": self.forward_passes,
+            "total_generation_seconds": self.total_generation_seconds,
+            "total_forward_seconds": self.total_forward_seconds,
+            "last_snapshot_iteration": self.last_snapshot_iteration,
+        }
+
+
+class ReferenceModel:
+    """Quantized snapshot of the training model used for plasticity evaluation.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable that builds a model with the same architecture
+        as the training model (same class/configuration); its weights are
+        overwritten by the quantized snapshot.
+    precision:
+        One of ``"int8"``, ``"int4"``, ``"float16"``, ``"float32"``
+        (Table 2 precisions).
+    device:
+        ``"cpu"`` (default) or ``"gpu"`` — only affects the simulated-cost
+        accounting; §4.1.3 allows GPU execution when CPUs are scarce.
+    """
+
+    def __init__(self, model_factory, precision: str = "int8", device: str = "cpu"):
+        if precision not in PRECISIONS:
+            raise ValueError(f"unknown precision {precision!r}; expected one of {sorted(PRECISIONS)}")
+        self.model_factory = model_factory
+        self.spec: QuantizationSpec = PRECISIONS[precision]
+        self.device = device
+        self.model: Optional[Module] = None
+        self.recorder: Optional[ActivationRecorder] = None
+        self.stats = ReferenceModelStats()
+        self._monitored_paths: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Generation / update
+    # ------------------------------------------------------------------ #
+    def generate(self, training_model: Module, iteration: int = 0) -> Module:
+        """Create (or re-create) the reference model from a training snapshot."""
+        start = time.perf_counter()
+        snapshot = training_model.state_dict()
+        quantized = quantize_state_dict(snapshot, self.spec)
+        self.model = self.model_factory()
+        self.model.load_state_dict(quantized)
+        self.model.eval()
+        if self._monitored_paths:
+            self.recorder = ActivationRecorder(self.model, self._monitored_paths)
+        elapsed = time.perf_counter() - start
+        self.stats.generations += 1
+        self.stats.total_generation_seconds += elapsed
+        self.stats.last_snapshot_iteration = iteration
+        return self.model
+
+    def update(self, training_model: Module, iteration: int) -> Module:
+        """Refresh the reference from the latest snapshot (periodic update)."""
+        if self.model is None:
+            return self.generate(training_model, iteration)
+        start = time.perf_counter()
+        quantized = quantize_state_dict(training_model.state_dict(), self.spec)
+        self.model.load_state_dict(quantized)
+        elapsed = time.perf_counter() - start
+        self.stats.updates += 1
+        self.stats.total_generation_seconds += elapsed
+        self.stats.last_snapshot_iteration = iteration
+        return self.model
+
+    def staleness(self, current_iteration: int) -> int:
+        """Iterations elapsed since the last snapshot was taken."""
+        if self.stats.last_snapshot_iteration < 0:
+            return current_iteration
+        return current_iteration - self.stats.last_snapshot_iteration
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def monitor(self, module_paths: List[str]) -> None:
+        """Hook the given module paths on the reference model."""
+        self._monitored_paths = list(module_paths)
+        if self.model is not None:
+            if self.recorder is not None:
+                self.recorder.remove()
+            self.recorder = ActivationRecorder(self.model, self._monitored_paths)
+
+    def forward(self, *inputs) -> Dict[str, np.ndarray]:
+        """Run a forward pass and return the hooked activations.
+
+        The pass runs under ``no_grad`` — the reference model only ever
+        performs inference (that is what makes int8 quantization applicable).
+        """
+        if self.model is None:
+            raise RuntimeError("reference model has not been generated yet")
+        if self.recorder is None:
+            raise RuntimeError("no monitored module paths; call monitor() first")
+        start = time.perf_counter()
+        self.recorder.clear()
+        with no_grad():
+            self.model(*inputs)
+        self.stats.forward_passes += 1
+        self.stats.total_forward_seconds += time.perf_counter() - start
+        return self.recorder.activations()
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting (used by §6.5 / Table 2 benches)
+    # ------------------------------------------------------------------ #
+    @property
+    def cpu_speedup(self) -> float:
+        """Relative CPU inference speed versus a float32 reference (Table 2)."""
+        return self.spec.cpu_speedup
+
+    @property
+    def memory_ratio(self) -> float:
+        """Memory footprint relative to the float32 model."""
+        return self.spec.memory_ratio
+
+    def estimated_forward_seconds(self, full_precision_forward_seconds: float) -> float:
+        """Simulated reference forward time given the fp32 forward time."""
+        return full_precision_forward_seconds / self.spec.cpu_speedup

@@ -1,0 +1,364 @@
+"""Training loops: the generic baseline trainer and the Egeria trainer.
+
+:class:`BaseTrainer` runs a standard epoch/iteration loop over a task adapter
+(forward, loss, backward, optimizer step, LR schedule, periodic evaluation)
+while accounting both wall-clock time and *simulated* time through the
+:class:`repro.sim.CostModel` — the simulated times are what the paper-style
+TTA/speedup numbers are computed from (see DESIGN.md's substitution table).
+
+:class:`EgeriaTrainer` extends it with the two-stage life cycle of Figure 3:
+
+1. **Bootstrapping stage** — monitor the training-loss changing rate; no layer
+   is eligible for freezing during the critical period (§3).
+2. **Knowledge-guided stage** — generate the quantized reference model,
+   periodically evaluate the frontmost active layer module's plasticity
+   through the controller/worker queues, freeze converged modules, cache and
+   prefetch frozen-prefix activations, and unfreeze on large LR drops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataloader import DataLoader
+from ..metrics.tracking import EpochRecord, RunHistory
+from ..nn.module import Module
+from ..optim.lr_scheduler import LRScheduler
+from ..optim.optimizer import Optimizer
+from ..sim.cost_model import CostModel
+from .cache import ActivationCache, Prefetcher
+from .config import EgeriaConfig
+from .controller import EgeriaController
+from .freezing import FreezingEngine
+from .hooks import ActivationRecorder
+from .modules import LayerModule, parse_layer_modules
+from .queues import EvaluationChannels
+from .reference import ReferenceModel
+from .tasks import TaskAdapter
+from .worker import EgeriaWorker
+
+__all__ = ["BaseTrainer", "EgeriaTrainer"]
+
+
+class BaseTrainer:
+    """Plain training loop with simulated-time accounting.
+
+    Parameters
+    ----------
+    model, task, train_loader, eval_loader, optimizer:
+        The usual training ingredients; ``task`` supplies per-task forward,
+        loss and evaluation logic.
+    scheduler:
+        Optional LR scheduler stepped once per epoch.
+    cost_model:
+        Optional :class:`~repro.sim.CostModel`; when omitted one is built from
+        the model's layer modules.
+    comm_seconds_per_byte:
+        Per-byte gradient synchronization cost (0 for single-GPU training).
+    name:
+        Label recorded in the run history.
+    """
+
+    def __init__(self, model: Module, task: TaskAdapter, train_loader: DataLoader,
+                 eval_loader: Optional[DataLoader] = None, optimizer: Optional[Optimizer] = None,
+                 scheduler: Optional[LRScheduler] = None, cost_model: Optional[CostModel] = None,
+                 layer_modules: Optional[Sequence[LayerModule]] = None,
+                 comm_seconds_per_byte: float = 0.0, name: str = "baseline"):
+        if optimizer is None:
+            raise ValueError("an optimizer is required")
+        self.model = model
+        self.task = task
+        self.train_loader = train_loader
+        self.eval_loader = eval_loader
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.layer_modules: List[LayerModule] = list(layer_modules) if layer_modules is not None \
+            else parse_layer_modules(model)
+        self.cost_model = cost_model or CostModel(self.layer_modules, batch_size=train_loader.batch_size)
+        self.comm_seconds_per_byte = comm_seconds_per_byte
+        self.name = name
+
+        self.iteration = 0
+        self.simulated_time = 0.0
+        self.history = RunHistory(name=name, metric_name=task.metric_name,
+                                  higher_is_better=task.higher_is_better)
+        self._wall_start: Optional[float] = None
+        self._epoch_losses: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Hooks overridden by subclasses
+    # ------------------------------------------------------------------ #
+    def on_epoch_start(self, epoch: int, lr: float) -> None:
+        """Called after the LR schedule step, before the epoch's iterations."""
+
+    def on_iteration_end(self, batch, loss_value: float) -> None:
+        """Called after the optimizer step of every iteration."""
+
+    def frozen_prefix(self) -> int:
+        """Number of consecutive frozen front modules (0 for the baseline)."""
+        return 0
+
+    def uses_cached_fp(self) -> bool:
+        """Whether the frozen prefix's forward pass is served from cache."""
+        return False
+
+    def frozen_fraction(self) -> float:
+        """Fraction of layer-module parameters currently frozen."""
+        total = sum(m.num_params for m in self.layer_modules)
+        frozen = sum(m.num_params for m in self.layer_modules if m.is_frozen())
+        return frozen / total if total else 0.0
+
+    def include_reference_overhead(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Core loop
+    # ------------------------------------------------------------------ #
+    def train_one_iteration(self, batch) -> float:
+        """Forward, loss, backward and optimizer step for one mini-batch."""
+        outputs = self.task.forward(self.model, batch)
+        loss = self.task.loss(outputs, batch)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item())
+
+    def _account_iteration_time(self) -> None:
+        breakdown = self.cost_model.iteration(
+            frozen_prefix=self.frozen_prefix(),
+            cached_fp=self.uses_cached_fp(),
+            comm_seconds_per_byte=self.comm_seconds_per_byte,
+            include_reference_overhead=self.include_reference_overhead(),
+        )
+        self.simulated_time += breakdown.total
+
+    def train_epoch(self, epoch: int) -> float:
+        """Run one epoch; returns the mean training loss."""
+        lr = self.scheduler.step(epoch) if self.scheduler is not None else self.optimizer.lr
+        self.on_epoch_start(epoch, lr)
+        self._epoch_losses = []
+        self.train_loader.set_epoch(epoch)
+        while True:
+            batch = self.train_loader.next_batch()
+            if batch is None:
+                break
+            self.iteration += 1
+            loss_value = self.train_one_iteration(batch)
+            self._epoch_losses.append(loss_value)
+            self._account_iteration_time()
+            self.on_iteration_end(batch, loss_value)
+        return float(np.mean(self._epoch_losses)) if self._epoch_losses else 0.0
+
+    def evaluate(self) -> float:
+        """Task metric on the evaluation loader (NaN when absent)."""
+        if self.eval_loader is None:
+            return float("nan")
+        return self.task.evaluate(self.model, iter(self.eval_loader))
+
+    def fit(self, num_epochs: int, eval_every: int = 1, target_metric: Optional[float] = None,
+            stop_at_target: bool = False) -> RunHistory:
+        """Train for ``num_epochs`` epochs, recording per-epoch history.
+
+        When ``target_metric`` is given and ``stop_at_target`` is True the run
+        stops at the first epoch that reaches the target (TTA measurement).
+        """
+        self._wall_start = time.perf_counter()
+        last_metric = float("nan")
+        for epoch in range(num_epochs):
+            mean_loss = self.train_epoch(epoch)
+            if self.eval_loader is not None and (epoch % eval_every == 0 or epoch == num_epochs - 1):
+                last_metric = self.evaluate()
+            self.history.add(EpochRecord(
+                epoch=epoch,
+                train_loss=mean_loss,
+                metric=last_metric,
+                simulated_time=self.simulated_time,
+                wall_time=time.perf_counter() - self._wall_start,
+                learning_rate=self.optimizer.lr,
+                frozen_fraction=self.frozen_fraction(),
+                cached_fp=self.uses_cached_fp(),
+            ))
+            if target_metric is not None and stop_at_target and not np.isnan(last_metric):
+                if self.task.better(last_metric, target_metric) or last_metric == target_metric:
+                    break
+        return self.history
+
+
+class EgeriaTrainer(BaseTrainer):
+    """Knowledge-guided training with layer freezing, as described in §3–§4.
+
+    Additional parameters
+    ---------------------
+    model_factory:
+        Callable building a model with the same architecture, used to host the
+        quantized reference snapshot.
+    config:
+        :class:`EgeriaConfig` hyperparameters.
+    """
+
+    BOOTSTRAPPING = "bootstrapping"
+    KNOWLEDGE_GUIDED = "knowledge_guided"
+
+    def __init__(self, model: Module, model_factory, task: TaskAdapter, train_loader: DataLoader,
+                 eval_loader: Optional[DataLoader] = None, optimizer: Optional[Optimizer] = None,
+                 scheduler: Optional[LRScheduler] = None, config: Optional[EgeriaConfig] = None,
+                 cost_model: Optional[CostModel] = None, layer_modules: Optional[Sequence[LayerModule]] = None,
+                 comm_seconds_per_byte: float = 0.0, name: str = "egeria"):
+        super().__init__(model, task, train_loader, eval_loader, optimizer, scheduler, cost_model,
+                         layer_modules, comm_seconds_per_byte, name=name)
+        self.config = config or EgeriaConfig()
+        self.engine = FreezingEngine(self.layer_modules, self.config)
+        self.channels = EvaluationChannels()
+        self.reference = ReferenceModel(model_factory, precision=self.config.reference_precision,
+                                        device=self.config.reference_device)
+        self.controller = EgeriaController(self.engine, self.reference, self.channels, self.config)
+        self.worker = EgeriaWorker(model, self.engine, self.channels)
+        self.cache = ActivationCache(cache_dir=self.config.cache_dir,
+                                     memory_batches=self.config.cache_memory_batches,
+                                     batch_size=train_loader.batch_size)
+        self.prefetcher = Prefetcher(self.cache, lookahead_batches=2)
+        self._cache_recorder: Optional[ActivationRecorder] = None
+
+        self.stage = self.BOOTSTRAPPING
+        self._bootstrap_losses: List[float] = []
+        self._bootstrap_window_means: List[float] = []
+        self._num_frozen_seen = 0
+        self.fp_skipped_iterations = 0
+        self.stage_transitions: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # Overridden accounting hooks
+    # ------------------------------------------------------------------ #
+    def frozen_prefix(self) -> int:
+        return self.engine.frozen_prefix_length()
+
+    def uses_cached_fp(self) -> bool:
+        if not self.config.enable_fp_caching:
+            return False
+        return self.frozen_prefix() >= self.config.min_cached_modules
+
+    def frozen_fraction(self) -> float:
+        return self.engine.frozen_parameter_fraction()
+
+    def include_reference_overhead(self) -> bool:
+        return self.stage == self.KNOWLEDGE_GUIDED
+
+    # ------------------------------------------------------------------ #
+    # Stage management
+    # ------------------------------------------------------------------ #
+    def _bootstrap_step(self, loss_value: float) -> None:
+        """Track the loss changing rate; leave the critical period when stable."""
+        self._bootstrap_losses.append(loss_value)
+        interval = self.config.eval_interval_iters
+        if len(self._bootstrap_losses) % interval != 0:
+            return
+        window_mean = float(np.mean(self._bootstrap_losses[-interval:]))
+        self._bootstrap_window_means.append(window_mean)
+        if len(self._bootstrap_window_means) < self.config.bootstrap_min_evaluations:
+            return
+        previous, current = self._bootstrap_window_means[-2], self._bootstrap_window_means[-1]
+        if previous <= 0:
+            return
+        change_rate = abs(previous - current) / abs(previous)
+        if change_rate < self.config.bootstrap_loss_change_threshold:
+            self._enter_knowledge_guided_stage()
+
+    def _enter_knowledge_guided_stage(self) -> None:
+        self.stage = self.KNOWLEDGE_GUIDED
+        self.controller.initialize_reference(self.model, self.iteration)
+        self.stage_transitions.append({
+            "iteration": self.iteration,
+            "stage": self.KNOWLEDGE_GUIDED,
+        })
+
+    # ------------------------------------------------------------------ #
+    # Epoch / iteration hooks
+    # ------------------------------------------------------------------ #
+    def on_epoch_start(self, epoch: int, lr: float) -> None:
+        cyclical = bool(self.scheduler is not None and self.scheduler.cyclical)
+        unfroze = self.controller.observe_lr(lr, self.iteration, cyclical=cyclical)
+        if unfroze:
+            self.worker.restore_training_mode()
+            self.cache.set_prefix_version(self.cache.prefix_version + 1)
+            self._num_frozen_seen = 0
+
+    def on_iteration_end(self, batch, loss_value: float) -> None:
+        if self.stage == self.BOOTSTRAPPING:
+            self._bootstrap_step(loss_value)
+            return
+
+        # Knowledge-guided stage: periodic plasticity evaluation.
+        if self.iteration % self.config.eval_interval_iters == 0 and self.engine.monitored_module is not None:
+            inputs = self.task.input_tensors(batch)
+            self.worker.submit_evaluation(inputs, self.iteration)
+        self.controller.step(self.model)
+
+        num_frozen = self.engine.num_frozen()
+        if num_frozen != self._num_frozen_seen:
+            self.worker.apply_decisions()
+            self.cache.set_prefix_version(self.engine.frozen_prefix_length())
+            self._retarget_cache_recorder()
+            self._num_frozen_seen = num_frozen
+
+        self._maybe_cache_activations(batch)
+
+    # ------------------------------------------------------------------ #
+    # Activation caching / prefetching
+    # ------------------------------------------------------------------ #
+    def _retarget_cache_recorder(self) -> None:
+        """Hook the tail of the frozen prefix so its output can be cached."""
+        prefix = self.engine.frozen_prefix_length()
+        if not self.config.enable_fp_caching or prefix < self.config.min_cached_modules:
+            if self._cache_recorder is not None:
+                self._cache_recorder.remove()
+                self._cache_recorder = None
+            return
+        tail_path = self.layer_modules[prefix - 1].tail_path
+        if self._cache_recorder is None:
+            self._cache_recorder = ActivationRecorder(self.model, [tail_path])
+        else:
+            self._cache_recorder.retarget([tail_path])
+
+    def _maybe_cache_activations(self, batch) -> None:
+        if self._cache_recorder is None:
+            return
+        # Read path: a full-batch hit means this iteration's frozen-prefix
+        # forward pass could be served from the cache (the saving the cost
+        # model accounts for when ``uses_cached_fp`` is True).
+        cached = self.cache.load_batch(batch.indices)
+        if cached is not None:
+            self.fp_skipped_iterations += 1
+        tail_path = self._cache_recorder.module_paths[0]
+        activation = self._cache_recorder.get(tail_path)
+        if activation is None:
+            return
+        if cached is None:
+            self.cache.store_batch(batch.indices, activation)
+        future = self.train_loader.peek_future_indices(num_batches=self.prefetcher.lookahead_batches)
+        self.prefetcher.prefetch(future)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def freezing_timeline(self) -> List[Dict[str, object]]:
+        """Freeze/unfreeze events (Figure 11 input)."""
+        return self.engine.timeline()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "iteration": self.iteration,
+            "frozen_prefix": self.frozen_prefix(),
+            "frozen_fraction": self.frozen_fraction(),
+            "fp_skipped_iterations": self.fp_skipped_iterations,
+            "controller": self.controller.summary(),
+            "cache": self.cache.stats.as_dict(),
+            "stage_transitions": self.stage_transitions,
+        }
+
+    def close(self) -> None:
+        """Release the on-disk activation cache."""
+        self.cache.close()

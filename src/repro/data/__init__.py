@@ -1,0 +1,34 @@
+"""``repro.data`` — synthetic datasets, data loader and stateless augmentation.
+
+Replaces the paper's CIFAR-10/ImageNet/VOC/WMT16/SQuAD with learnable
+synthetic surrogates of the same shape, plus a :class:`DataLoader` that knows
+its future sample indices (the property the activation prefetcher exploits)
+and stateless augmentation that keeps cached activations valid.
+"""
+
+from .augmentation import StatelessAugmentation, random_horizontal_flip, random_noise_jitter, random_translate
+from .dataloader import DataLoader
+from .datasets import (
+    Batch,
+    SubsetDataset,
+    SyntheticImageClassification,
+    SyntheticQuestionAnswering,
+    SyntheticSegmentation,
+    SyntheticTranslation,
+    make_dataset,
+)
+
+__all__ = [
+    "Batch",
+    "SubsetDataset",
+    "DataLoader",
+    "SyntheticImageClassification",
+    "SyntheticSegmentation",
+    "SyntheticTranslation",
+    "SyntheticQuestionAnswering",
+    "make_dataset",
+    "StatelessAugmentation",
+    "random_horizontal_flip",
+    "random_translate",
+    "random_noise_jitter",
+]

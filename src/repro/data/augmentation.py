@@ -1,0 +1,95 @@
+"""Stateless random data augmentation.
+
+Egeria's activation cache must remain valid under random augmentation.  The
+paper handles this with *stateless* random operations (§4.3): the augmentation
+applied to a sample is a pure function of ``(sample index, epoch seed)``, so
+the augmented image — and therefore the frozen layers' activation for it — is
+identical whenever it is replayed, "deterministically keep[ing] the randomly
+augmented images the same across epochs".
+
+These transforms operate on ``(C, H, W)`` float arrays and are intentionally
+cheap: horizontal flip, small translation ("crop with padding"), and additive
+noise jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["StatelessAugmentation", "random_horizontal_flip", "random_translate", "random_noise_jitter"]
+
+
+def _sample_rng(base_seed: int, sample_index: int) -> np.random.Generator:
+    """Deterministic per-sample generator — the heart of statelessness."""
+    return np.random.default_rng((base_seed * 1_000_003 + sample_index) % (2 ** 63 - 1))
+
+
+def random_horizontal_flip(image: np.ndarray, rng: np.random.Generator, probability: float = 0.5) -> np.ndarray:
+    """Flip the image left-right with the given probability."""
+    if rng.random() < probability:
+        return image[:, :, ::-1].copy()
+    return image
+
+
+def random_translate(image: np.ndarray, rng: np.random.Generator, max_shift: int = 2) -> np.ndarray:
+    """Shift the image by up to ``max_shift`` pixels in each direction (zero fill)."""
+    if max_shift <= 0:
+        return image
+    dy, dx = rng.integers(-max_shift, max_shift + 1, size=2)
+    shifted = np.zeros_like(image)
+    h, w = image.shape[1], image.shape[2]
+    src_y = slice(max(0, -dy), min(h, h - dy))
+    dst_y = slice(max(0, dy), min(h, h + dy))
+    src_x = slice(max(0, -dx), min(w, w - dx))
+    dst_x = slice(max(0, dx), min(w, w + dx))
+    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+    return shifted
+
+
+def random_noise_jitter(image: np.ndarray, rng: np.random.Generator, scale: float = 0.05) -> np.ndarray:
+    """Add small Gaussian noise (stand-in for colour jitter)."""
+    return image + scale * rng.standard_normal(image.shape).astype(image.dtype)
+
+
+@dataclass
+class StatelessAugmentation:
+    """Composable stateless augmentation pipeline.
+
+    Parameters
+    ----------
+    base_seed:
+        Run-level seed.  Augmentation for sample ``i`` depends only on
+        ``(base_seed, i)`` so it replays identically across epochs — the
+        property the activation cache requires.
+    flip, translate, jitter:
+        Which transforms to enable.
+    """
+
+    base_seed: int = 0
+    flip: bool = True
+    translate: bool = True
+    jitter: bool = True
+    max_shift: int = 2
+    jitter_scale: float = 0.05
+
+    def apply_sample(self, image: np.ndarray, sample_index: int) -> np.ndarray:
+        """Augment one ``(C, H, W)`` image deterministically."""
+        rng = _sample_rng(self.base_seed, sample_index)
+        out = image
+        if self.flip:
+            out = random_horizontal_flip(out, rng)
+        if self.translate:
+            out = random_translate(out, rng, max_shift=self.max_shift)
+        if self.jitter:
+            out = random_noise_jitter(out, rng, scale=self.jitter_scale)
+        return out
+
+    def apply_batch(self, images: np.ndarray, indices: Sequence[int]) -> np.ndarray:
+        """Augment a batch ``(N, C, H, W)`` keyed by the samples' dataset indices."""
+        out = np.empty_like(images)
+        for row, sample_index in enumerate(indices):
+            out[row] = self.apply_sample(images[row], int(sample_index))
+        return out

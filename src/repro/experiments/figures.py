@@ -1,0 +1,487 @@
+"""Experiment harnesses that regenerate every table and figure of the paper.
+
+Each ``run_*`` function reproduces one table/figure of the evaluation (or
+motivation) section and returns plain dict/list data that the corresponding
+benchmark under ``benchmarks/`` prints and sanity-checks.  The experiments run
+on the scaled synthetic workloads of :mod:`repro.experiments.workloads`; see
+EXPERIMENTS.md for the paper-vs-measured comparison.
+
+Index
+-----
+* :func:`run_fig1_pwcca_convergence`  — Figure 1 (post hoc PWCCA analysis)
+* :func:`run_fig2_premature_freezing` — Figure 2 (static/gradient freezing hurts)
+* :func:`run_fig4_plasticity_trends`  — Figure 4 (plasticity per layer module)
+* :func:`run_table1_tta`              — Table 1 (TTA speedups, 7 workloads)
+* :func:`run_fig8_end_to_end`         — Figure 8 (accuracy curves vs baselines)
+* :func:`run_fig9_breakdown`          — Figure 9 (BP freezing vs FP caching)
+* :func:`run_fig10_distributed`       — Figure 10 (distributed throughput)
+* :func:`run_fig11_freezing_decisions`— Figure 11 (freeze/unfreeze timeline)
+* :func:`run_table2_reference_precision` — Table 2 (int8/fp16/fp32 reference)
+* :func:`run_fig12_hyperparameters`   — Figure 12 (sensitivity of n, W, T)
+* :func:`run_overhead_analysis`       — §6.5 (reference + cache overheads)
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..analysis import ConvergenceAnalyzer
+from ..baselines import DistributedThroughputComparison
+from ..core import EgeriaConfig, EgeriaTrainer, parse_layer_modules, sp_loss
+from ..core.hooks import ActivationRecorder
+from ..core.reference import ReferenceModel
+from ..metrics.tracking import RunHistory
+from ..quantization import PRECISIONS
+from ..sim import AllReduceModel, CostModel, SchedulePolicy, TimelineSimulator, paper_testbed_cluster, single_node_cluster
+from .runners import ComparisonRow, compare_systems, run_trainer
+from .workloads import Workload, available_workloads, build_workload
+
+__all__ = [
+    "run_fig1_pwcca_convergence",
+    "run_fig2_premature_freezing",
+    "run_fig4_plasticity_trends",
+    "run_table1_tta",
+    "run_fig8_end_to_end",
+    "run_fig9_breakdown",
+    "run_fig10_distributed",
+    "run_fig11_freezing_decisions",
+    "run_table2_reference_precision",
+    "run_fig12_hyperparameters",
+    "run_overhead_analysis",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 — post hoc PWCCA convergence analysis
+# --------------------------------------------------------------------------- #
+def run_fig1_pwcca_convergence(scale: str = "tiny", snapshot_every: int = 2, seed: int = 0) -> Dict[str, object]:
+    """Track each layer module's PWCCA distance to the fully-trained model.
+
+    Reproduces Figure 1's shape: front modules reach a low, stable score long
+    before the deep modules do, revealing freezable regions; the theoretical
+    compute saving from freezing inside them is reported (paper: ~45%).
+    """
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    model = workload.make_model()
+    optimizer = workload.make_optimizer(model)
+    scheduler = workload.make_scheduler(optimizer)
+    loader = workload.train_loader()
+    task = workload.task
+
+    snapshots: Dict[int, Dict[str, np.ndarray]] = {}
+    for epoch in range(workload.num_epochs):
+        scheduler.step(epoch)
+        loader.set_epoch(epoch)
+        while True:
+            batch = loader.next_batch()
+            if batch is None:
+                break
+            loss = task.loss(task.forward(model, batch), batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        if epoch % snapshot_every == 0 or epoch == workload.num_epochs - 1:
+            snapshots[epoch] = model.state_dict()
+
+    # The fully-trained reference is the final model.
+    final_model = workload.make_model()
+    final_model.load_state_dict(model.state_dict())
+    final_model.eval()
+
+    layer_modules = parse_layer_modules(model)
+    analyzer = ConvergenceAnalyzer(layer_modules, metric="pwcca")
+    probe_batch = workload.train_dataset.get_batch(np.arange(min(16, len(workload.train_dataset))))
+    probe_inputs = task.input_tensors(probe_batch)
+
+    snapshot_model = workload.make_model()
+    for epoch in sorted(snapshots):
+        snapshot_model.load_state_dict(snapshots[epoch])
+        snapshot_model.eval()
+        analyzer.record(epoch, snapshot_model, final_model, probe_inputs)
+
+    return {
+        "history": analyzer.history,
+        "epochs": analyzer.epochs,
+        "module_names": [m.name for m in layer_modules],
+        "module_params": [m.num_params for m in layer_modules],
+        "freezable_regions": analyzer.module_regions(stability_threshold=0.05),
+        "theoretical_saving": analyzer.estimated_saving(stability_threshold=0.05),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 — premature freezing hurts accuracy
+# --------------------------------------------------------------------------- #
+def run_fig2_premature_freezing(scale: str = "tiny", seed: int = 0) -> Dict[str, object]:
+    """Compare no-freeze vs static early freezing vs gradient-metric freezing."""
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    early_epoch = max(workload.num_epochs // 6, 1)
+    freeze_modules = max(len(parse_layer_modules(workload.make_model())) // 2, 2)
+
+    vanilla = run_trainer("vanilla", workload)
+    static = run_trainer("static_freeze", workload, freeze_schedule={early_epoch: freeze_modules})
+    gradient = run_trainer("autofreeze", workload, norm_share_threshold=0.5, patience=1)
+
+    def curve(result):
+        return result["history"].metrics()
+
+    return {
+        "epochs": list(range(workload.num_epochs)),
+        "curves": {
+            "no_freeze": curve(vanilla),
+            "static_freeze": curve(static),
+            "gradient_metric": curve(gradient),
+        },
+        "final": {
+            "no_freeze": vanilla["final_metric"],
+            "static_freeze": static["final_metric"],
+            "gradient_metric": gradient["final_metric"],
+        },
+        "accuracy_drop": {
+            "static_freeze": vanilla["final_metric"] - static["final_metric"],
+            "gradient_metric": vanilla["final_metric"] - gradient["final_metric"],
+        },
+        "frozen_fraction": {
+            "static_freeze": static["frozen_fraction"],
+            "gradient_metric": gradient["frozen_fraction"],
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — plasticity of layer modules during training
+# --------------------------------------------------------------------------- #
+def run_fig4_plasticity_trends(scale: str = "tiny", reference_fraction: float = 0.4,
+                               seed: int = 0) -> Dict[str, object]:
+    """Measure SP-loss plasticity of each module against a partially-trained reference.
+
+    Mirrors the paper's validation experiment: the reference is the model
+    trained for only ``reference_fraction`` of the epochs; the front modules'
+    plasticity drops quickly and stays low while deep modules keep moving.
+    """
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    model = workload.make_model()
+    optimizer = workload.make_optimizer(model)
+    scheduler = workload.make_scheduler(optimizer)
+    loader = workload.train_loader()
+    task = workload.task
+    layer_modules = parse_layer_modules(model)
+    analyzer = ConvergenceAnalyzer(layer_modules, metric="sp")
+
+    reference_epoch = max(int(workload.num_epochs * reference_fraction), 1)
+    reference_model: Optional[nn.Module] = None
+    probe_batch = workload.train_dataset.get_batch(np.arange(min(16, len(workload.train_dataset))))
+    probe_inputs = task.input_tensors(probe_batch)
+    accuracy_curve: List[float] = []
+    eval_loader = workload.eval_loader()
+
+    for epoch in range(workload.num_epochs):
+        scheduler.step(epoch)
+        loader.set_epoch(epoch)
+        while True:
+            batch = loader.next_batch()
+            if batch is None:
+                break
+            loss = task.loss(task.forward(model, batch), batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        if epoch == reference_epoch:
+            reference_model = workload.make_model()
+            reference_model.load_state_dict(model.state_dict())
+            reference_model.eval()
+        if reference_model is not None:
+            analyzer.record(epoch, model, reference_model, probe_inputs)
+        accuracy_curve.append(task.evaluate(model, iter(eval_loader)))
+
+    return {
+        "plasticity": analyzer.history,
+        "epochs": analyzer.epochs,
+        "accuracy": accuracy_curve,
+        "module_names": [m.name for m in layer_modules],
+        "reference_epoch": reference_epoch,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 — TTA speedups across the seven workloads
+# --------------------------------------------------------------------------- #
+def run_table1_tta(scale: str = "tiny", workload_names: Optional[Sequence[str]] = None,
+                   seed: int = 0) -> List[Dict[str, object]]:
+    """Vanilla-vs-Egeria TTA comparison for the requested workloads."""
+    names = list(workload_names or available_workloads())
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        workload = build_workload(name, scale=scale, seed=seed)
+        comparison = compare_systems(workload, systems=("vanilla", "egeria"))
+        egeria_row = next(r for r in comparison if r.system == "egeria")
+        vanilla_row = next(r for r in comparison if r.system == "vanilla")
+        rows.append({
+            "workload": name,
+            "paper_model": workload.paper_model,
+            "paper_tta_speedup": workload.paper_tta_speedup,
+            "measured_tta_speedup": egeria_row.tta_speedup_vs_vanilla,
+            "vanilla_final": vanilla_row.final_metric,
+            "egeria_final": egeria_row.final_metric,
+            "egeria_reached_target": egeria_row.reached_target,
+            "accuracy_gap": egeria_row.accuracy_gap_vs_vanilla,
+            "metric": workload.task.metric_name,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8 — end-to-end accuracy curves vs freezing baselines
+# --------------------------------------------------------------------------- #
+def run_fig8_end_to_end(scale: str = "tiny", workload_name: str = "resnet50_imagenet",
+                        seed: int = 0) -> Dict[str, object]:
+    """Accuracy-vs-epoch curves for Baseline / Egeria / AutoFreeze / Skip-Conv."""
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    systems = ("vanilla", "egeria", "autofreeze", "skipconv")
+    results: Dict[str, Dict[str, object]] = {}
+    for system in systems:
+        overrides = {"norm_share_threshold": 0.5, "patience": 1} if system == "autofreeze" else {}
+        results[system] = run_trainer(system, workload, **overrides)
+
+    vanilla_history: RunHistory = results["vanilla"]["history"]
+    vanilla_final = vanilla_history.final_metric()
+    target = vanilla_final * 0.98 if workload.task.higher_is_better else vanilla_final / 0.98
+
+    rows: List[Dict[str, object]] = []
+    for system, result in results.items():
+        history: RunHistory = result["history"]
+        if workload.task.higher_is_better:
+            gap = history.final_metric() - vanilla_final
+        else:
+            gap = vanilla_final - history.final_metric()
+        rows.append({
+            "system": system,
+            "final_metric": history.final_metric(),
+            "target_metric": target,
+            "reached_target": history.time_to_accuracy(target) is not None,
+            "accuracy_gap_vs_vanilla": gap,
+            "frozen_fraction": result["frozen_fraction"],
+            "simulated_time": result["simulated_time"],
+        })
+    return {
+        "workload": workload_name,
+        "metric": workload.task.metric_name,
+        "higher_is_better": workload.task.higher_is_better,
+        "curves": {system: results[system]["history"].metrics() for system in systems},
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — performance breakdown: BP freezing vs FP caching
+# --------------------------------------------------------------------------- #
+def run_fig9_breakdown(workload_names: Optional[Sequence[str]] = None, scale: str = "tiny",
+                       frozen_fraction: float = 0.4, seed: int = 0) -> List[Dict[str, float]]:
+    """Iteration-time reduction from layer freezing alone vs freezing + FP caching.
+
+    Uses the analytical cost model with the first modules (up to
+    ``frozen_fraction`` of parameters) frozen — the regime Egeria reaches in
+    the later training stages — and reports normalised iteration times
+    (baseline = 1.0), mirroring the bar groups of Figure 9.
+    """
+    names = list(workload_names or ["resnet50_imagenet", "mobilenet_v2_cifar10",
+                                    "transformer_base_wmt16", "bert_squad"])
+    rows: List[Dict[str, float]] = []
+    for name in names:
+        workload = build_workload(name, scale=scale, seed=seed)
+        model = workload.make_model()
+        layer_modules = parse_layer_modules(model)
+        cost_model = CostModel(layer_modules, batch_size=workload.batch_size)
+        total_params = sum(m.num_params for m in layer_modules)
+        prefix, running = 0, 0
+        for module in layer_modules:
+            if running + module.num_params > total_params * frozen_fraction:
+                break
+            running += module.num_params
+            prefix += 1
+        baseline = cost_model.iteration(0, False, include_reference_overhead=False).total
+        freeze_only = cost_model.iteration(prefix, False).total
+        freeze_cache = cost_model.iteration(prefix, True).total
+        rows.append({
+            "workload": name,
+            "frozen_modules": prefix,
+            "baseline": 1.0,
+            "freezing_only": freeze_only / baseline if baseline else 1.0,
+            "freezing_plus_caching": freeze_cache / baseline if baseline else 1.0,
+            "fp_caching_extra_saving": (freeze_only - freeze_cache) / baseline if baseline else 0.0,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — distributed training throughput
+# --------------------------------------------------------------------------- #
+def run_fig10_distributed(workload_name: str = "resnet50_imagenet", scale: str = "tiny",
+                          machine_counts: Sequence[int] = (2, 3, 4, 5), frozen_fraction: float = 0.4,
+                          seed: int = 0) -> Dict[str, object]:
+    """Throughput of vanilla / ByteScheduler / Egeria / Egeria+BS at 2–5 nodes."""
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    model = workload.make_model()
+    layer_modules = parse_layer_modules(model)
+    total_params = sum(m.num_params for m in layer_modules)
+    prefix, running = 0, 0
+    for module in layer_modules:
+        if running + module.num_params > total_params * frozen_fraction:
+            break
+        running += module.num_params
+        prefix += 1
+    comparison = DistributedThroughputComparison(layer_modules, batch_size=workload.batch_size,
+                                                 cluster=paper_testbed_cluster())
+    rows = comparison.scaling_sweep(machine_counts, gpus_per_machine=2, frozen_prefix=prefix, cached_fp=True)
+    return {
+        "workload": workload_name,
+        "frozen_prefix": prefix,
+        "rows": rows,
+        "policies": list(SchedulePolicy.ALL),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11 — freezing/unfreezing decision timeline
+# --------------------------------------------------------------------------- #
+def run_fig11_freezing_decisions(scale: str = "tiny", seed: int = 0) -> Dict[str, object]:
+    """Active-parameter-fraction timeline of an Egeria ResNet run."""
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    result = run_trainer("egeria", workload)
+    history: RunHistory = result["history"]
+    return {
+        "workload": workload.name,
+        "timeline": result["timeline"],
+        "active_fraction_per_epoch": [1.0 - f for f in history.frozen_fractions()],
+        "module_sizes": {m.name: m.num_params
+                         for m in parse_layer_modules(workload.make_model())},
+        "final_metric": result["final_metric"],
+        "summary": result["summary"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Table 2 — reference-model precision sensitivity
+# --------------------------------------------------------------------------- #
+def run_table2_reference_precision(scale: str = "tiny", precisions: Sequence[str] = ("int8", "float16", "float32"),
+                                   seed: int = 0) -> List[Dict[str, object]]:
+    """Final accuracy / CPU speed / reference accuracy gap per reference precision."""
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    base_result = run_trainer("vanilla", workload)
+
+    rows: List[Dict[str, object]] = []
+    for precision in precisions:
+        result = run_trainer("egeria", workload, reference_precision=precision)
+        reference_gap = _reference_accuracy_gap(workload, precision)
+        rows.append({
+            "precision": precision,
+            "final_accuracy": result["final_metric"],
+            "cpu_inference_speedup": PRECISIONS[precision].cpu_speedup,
+            "reference_accuracy_gap": reference_gap,
+            "memory_ratio": PRECISIONS[precision].memory_ratio,
+            "vanilla_final": base_result["final_metric"],
+        })
+    return rows
+
+
+def _reference_accuracy_gap(workload: Workload, precision: str) -> float:
+    """Accuracy drop of a quantized snapshot relative to its float32 original."""
+    model = workload.make_model()
+    optimizer = workload.make_optimizer(model)
+    loader = workload.train_loader()
+    task = workload.task
+    # Train briefly so the snapshot is meaningful.
+    for epoch in range(max(workload.num_epochs // 3, 2)):
+        loader.set_epoch(epoch)
+        while True:
+            batch = loader.next_batch()
+            if batch is None:
+                break
+            loss = task.loss(task.forward(model, batch), batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    eval_loader = workload.eval_loader()
+    fp32_accuracy = task.evaluate(model, iter(eval_loader))
+    reference = ReferenceModel(workload.model_factory, precision=precision)
+    reference.generate(model)
+    quant_accuracy = task.evaluate(reference.model, iter(workload.eval_loader()))
+    return fp32_accuracy - quant_accuracy
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12 — hyperparameter sensitivity
+# --------------------------------------------------------------------------- #
+def run_fig12_hyperparameters(scale: str = "tiny", seed: int = 0) -> List[Dict[str, object]]:
+    """Sweep W, n and T around the guideline values (Figure 12)."""
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    chosen = workload.egeria_config
+    variants = {
+        "chosen": {},
+        "n_doubled": {"eval_interval_iters": chosen.eval_interval_iters * 2},
+        "n_halved": {"eval_interval_iters": max(chosen.eval_interval_iters // 2, 1)},
+        "W_doubled": {"freeze_window": chosen.freeze_window * 2},
+        "W_halved": {"freeze_window": max(chosen.freeze_window // 2, 1)},
+        "T_doubled": {"tolerance_coefficient": min(chosen.tolerance_coefficient * 2, 0.9),
+                      "relative_slope_floor": min(chosen.relative_slope_floor * 2, 0.9)},
+        "T_halved": {"tolerance_coefficient": chosen.tolerance_coefficient / 2,
+                     "relative_slope_floor": chosen.relative_slope_floor / 2},
+    }
+    vanilla = run_trainer("vanilla", workload)
+    target = vanilla["final_metric"] * 0.98
+    rows: List[Dict[str, object]] = []
+    for label, overrides in variants.items():
+        result = run_trainer("egeria", workload, **overrides)
+        history: RunHistory = result["history"]
+        rows.append({
+            "variant": label,
+            "overrides": overrides,
+            "final_metric": result["final_metric"],
+            "simulated_time": result["simulated_time"],
+            "frozen_fraction": result["frozen_fraction"],
+            "time_to_target": history.time_to_accuracy(target),
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# §6.5 — system overhead analysis
+# --------------------------------------------------------------------------- #
+def run_overhead_analysis(scale: str = "tiny", seed: int = 0) -> Dict[str, object]:
+    """Reference-model generation/update cost and activation-cache storage ratio."""
+    workload = build_workload("resnet56_cifar10", scale=scale, seed=seed)
+    result = run_trainer("egeria", workload)
+    summary = result["summary"]
+    reference_stats = summary["controller"]["reference_stats"]
+    cache_stats = summary["cache"]
+
+    model = workload.make_model()
+    layer_modules = parse_layer_modules(model)
+    cost_model = CostModel(layer_modules, batch_size=workload.batch_size)
+    input_bytes = workload.train_dataset.input_nbytes_per_sample()
+    # Activation bytes at the tail of the first module for one sample.
+    probe = workload.train_dataset.get_batch(np.arange(1))
+    with ActivationRecorder(model, [layer_modules[0].tail_path]) as recorder:
+        with nn.no_grad():
+            model(*workload.task.input_tensors(probe))
+        activation = recorder.get(layer_modules[0].tail_path)
+    activation_bytes = int(activation[0].size * 4) if activation is not None else 0
+
+    generations = max(reference_stats["generations"] + reference_stats["updates"], 1)
+    return {
+        "reference_generation_seconds_mean": reference_stats["total_generation_seconds"] / generations,
+        "reference_forward_passes": reference_stats["forward_passes"],
+        "reference_time_fraction_of_training": (
+            reference_stats["total_forward_seconds"] / max(result["wall_time"], 1e-9)
+        ),
+        "reference_overhead_fraction_model": cost_model.reference_overhead_fraction,
+        "cache_bytes_written": cache_stats["bytes_written"],
+        "cache_hit_rate": cache_stats["hit_rate"],
+        "activation_to_input_ratio": activation_bytes / input_bytes if input_bytes else 0.0,
+        "fp_fraction_of_iteration": cost_model.fp_fraction(),
+    }

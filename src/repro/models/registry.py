@@ -1,0 +1,170 @@
+"""Model registry mapping the paper's evaluation workloads to factories.
+
+Table 1 of the paper lists seven model/dataset combinations.  The registry
+captures, for each workload: a model factory, the task type, the dataset name,
+the number of building layer modules the paper reports, and the TTA speedup
+the paper measured — the latter two are what the Table 1 benchmark checks the
+reproduction against (structure exactly, speedup in shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .bert import bert_qa_lite
+from .deeplab import deeplabv3_lite
+from .mobilenet import mobilenet_v2_lite
+from .resnet import resnet50_lite, resnet56
+from .transformer import transformer_base_lite, transformer_tiny
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "get_workload", "list_workloads", "register_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one Table 1 workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"resnet56_cifar10"``).
+    task:
+        One of ``image_classification``, ``semantic_segmentation``,
+        ``machine_translation``, ``question_answering``.
+    model_factory:
+        Zero-argument callable returning a freshly initialised model.
+    dataset:
+        Name of the synthetic dataset in :mod:`repro.data`.
+    paper_model:
+        Model name as reported in the paper.
+    paper_layer_modules:
+        Number of building layer modules the paper reports for this model.
+    paper_tta_speedup:
+        TTA speedup the paper reports (fraction, e.g. 0.28 for 28%).
+    accuracy_metric:
+        Metric name used to judge convergence (``top1``, ``miou``,
+        ``perplexity``, ``f1``).
+    higher_is_better:
+        Whether larger metric values are better (False for perplexity).
+    fine_tuning:
+        True for the BERT/SQuAD workload, which starts from a pre-trained
+        checkpoint.
+    """
+
+    name: str
+    task: str
+    model_factory: Callable[[], object]
+    dataset: str
+    paper_model: str
+    paper_layer_modules: int
+    paper_tta_speedup: float
+    accuracy_metric: str
+    higher_is_better: bool = True
+    fine_tuning: bool = False
+    notes: str = ""
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload to the registry (overwrites on name collision)."""
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload; raises ``KeyError`` with the known names on miss."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    return WORKLOADS[name]
+
+
+def list_workloads(task: Optional[str] = None) -> List[WorkloadSpec]:
+    """All registered workloads, optionally filtered by task type."""
+    specs = list(WORKLOADS.values())
+    if task is not None:
+        specs = [s for s in specs if s.task == task]
+    return specs
+
+
+register_workload(WorkloadSpec(
+    name="resnet50_imagenet",
+    task="image_classification",
+    model_factory=lambda: resnet50_lite(num_classes=20),
+    dataset="synthetic_imagenet",
+    paper_model="ResNet-50",
+    paper_layer_modules=48,
+    paper_tta_speedup=0.28,
+    accuracy_metric="top1",
+))
+
+register_workload(WorkloadSpec(
+    name="mobilenet_v2_cifar10",
+    task="image_classification",
+    model_factory=lambda: mobilenet_v2_lite(num_classes=10),
+    dataset="synthetic_cifar10",
+    paper_model="MobileNet V2",
+    paper_layer_modules=17,
+    paper_tta_speedup=0.22,
+    accuracy_metric="top1",
+))
+
+register_workload(WorkloadSpec(
+    name="resnet56_cifar10",
+    task="image_classification",
+    model_factory=lambda: resnet56(num_classes=10),
+    dataset="synthetic_cifar10",
+    paper_model="ResNet-56",
+    paper_layer_modules=54,
+    paper_tta_speedup=0.23,
+    accuracy_metric="top1",
+))
+
+register_workload(WorkloadSpec(
+    name="deeplabv3_voc",
+    task="semantic_segmentation",
+    model_factory=lambda: deeplabv3_lite(num_classes=8),
+    dataset="synthetic_voc",
+    paper_model="DeepLabv3",
+    paper_layer_modules=49,
+    paper_tta_speedup=0.21,
+    accuracy_metric="miou",
+))
+
+register_workload(WorkloadSpec(
+    name="transformer_base_wmt16",
+    task="machine_translation",
+    model_factory=lambda: transformer_base_lite(vocab_size=64),
+    dataset="synthetic_wmt16",
+    paper_model="Transformer-Base",
+    paper_layer_modules=12,
+    paper_tta_speedup=0.43,
+    accuracy_metric="perplexity",
+    higher_is_better=False,
+))
+
+register_workload(WorkloadSpec(
+    name="transformer_tiny_wmt16",
+    task="machine_translation",
+    model_factory=lambda: transformer_tiny(vocab_size=32),
+    dataset="synthetic_wmt16",
+    paper_model="Transformer-Tiny",
+    paper_layer_modules=4,
+    paper_tta_speedup=0.19,
+    accuracy_metric="perplexity",
+    higher_is_better=False,
+))
+
+register_workload(WorkloadSpec(
+    name="bert_squad",
+    task="question_answering",
+    model_factory=lambda: bert_qa_lite(num_layers=12),
+    dataset="synthetic_squad",
+    paper_model="BERT-Base (fine-tuning)",
+    paper_layer_modules=12,
+    paper_tta_speedup=0.41,
+    accuracy_metric="f1",
+    fine_tuning=True,
+))

@@ -1,0 +1,89 @@
+"""``repro.nn`` — a compact numpy-backed neural network substrate.
+
+The Egeria reproduction cannot rely on PyTorch (offline environment), so this
+package re-implements the slice of a deep-learning framework that the paper's
+mechanisms need: an autograd tensor, modules with forward hooks and
+``requires_grad`` freezing, the common layers/blocks, and training losses.
+"""
+
+from . import functional, init
+from .blocks import (
+    BasicBlock,
+    Bottleneck,
+    ConvBNReLU,
+    FeedForward,
+    InvertedResidual,
+    MultiHeadAttention,
+    PositionalEncoding,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+)
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, LabelSmoothingCrossEntropy, MSELoss, SpanExtractionLoss, cross_entropy
+from .module import Identity, Module, ModuleList, Parameter, Sequential
+from .tensor import Tensor, arange, concatenate, no_grad, ones, randn, stack, tensor, where, zeros
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "arange",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "ReLU6",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "ConvBNReLU",
+    "BasicBlock",
+    "Bottleneck",
+    "InvertedResidual",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "PositionalEncoding",
+    "CrossEntropyLoss",
+    "LabelSmoothingCrossEntropy",
+    "MSELoss",
+    "SpanExtractionLoss",
+    "cross_entropy",
+]

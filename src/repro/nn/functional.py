@@ -1,0 +1,287 @@
+"""Functional neural-network operations built on the autograd :class:`Tensor`.
+
+These are the numerical workhorses used by the layer classes in
+:mod:`repro.nn.layers`: convolution via im2col, pooling, softmax,
+normalisation statistics, embedding lookup, and nearest-neighbour upsampling
+(needed by the DeepLabv3-lite head).
+
+Each function returns a :class:`~repro.nn.tensor.Tensor` wired into the
+autograd graph, with a hand-written backward closure where the op cannot be
+expressed as a composition of primitive tensor ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, is_grad_enabled
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "embedding",
+    "upsample_nearest",
+    "dropout",
+    "one_hot",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C * kernel * kernel, out_h * out_w)``.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:i_end:stride, kj:j_end:stride]
+    return cols.reshape(n, c * kernel * kernel, out_h * out_w), out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter columns back, accumulating overlaps."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ki in range(kernel):
+        i_end = ki + stride * out_h
+        for kj in range(kernel):
+            j_end = kj + stride * out_w
+            padded[:, :, ki:i_end:stride, kj:j_end:stride] += cols[:, :, ki, kj, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for 2-D or 3-D inputs."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, stride: int = 1, padding: int = 0,
+           groups: int = 1) -> Tensor:
+    """2-D convolution using an im2col + matmul formulation.
+
+    Supports grouped convolution (``groups > 1``) which MobileNetV2's
+    depthwise convolutions rely on.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kernel, _ = weight.shape
+    assert c_in % groups == 0 and c_out % groups == 0, "channels must divide groups"
+    assert c_in // groups == c_in_per_group, (
+        f"weight expects {c_in_per_group} in-channels per group, input has {c_in // groups}"
+    )
+
+    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    if groups == 1:
+        w_mat = weight.data.reshape(c_out, -1)
+        out_data = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+    else:
+        group_in = c_in // groups
+        group_out = c_out // groups
+        cols_g = cols.reshape(n, groups, group_in * kernel * kernel, out_h * out_w)
+        w_g = weight.data.reshape(groups, group_out, group_in * kernel * kernel)
+        out_data = np.einsum("gof,ngfp->ngop", w_g, cols_g, optimize=True).reshape(n, c_out, out_h * out_w)
+    out_data = out_data.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    prev = (x, weight) if bias is None else (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in prev)
+    out = Tensor(out_data, requires_grad=requires, _prev=prev if requires else (), _op="conv2d")
+
+    def _backward():
+        grad = out.grad.reshape(n, c_out, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if groups == 1:
+            w_mat_local = weight.data.reshape(c_out, -1)
+            if weight.requires_grad:
+                grad_w = np.einsum("nop,nfp->of", grad, cols, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("of,nop->nfp", w_mat_local, grad, optimize=True)
+                x._accumulate(col2im(grad_cols, x.shape, kernel, stride, padding))
+        else:
+            group_in = c_in // groups
+            group_out = c_out // groups
+            grad_g = grad.reshape(n, groups, group_out, out_h * out_w)
+            cols_g = cols.reshape(n, groups, group_in * kernel * kernel, out_h * out_w)
+            w_g = weight.data.reshape(groups, group_out, group_in * kernel * kernel)
+            if weight.requires_grad:
+                grad_w = np.einsum("ngop,ngfp->gof", grad_g, cols_g, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_cols = np.einsum("gof,ngop->ngfp", w_g, grad_g, optimize=True)
+                grad_cols = grad_cols.reshape(n, c_in * kernel * kernel, out_h * out_w)
+                x._accumulate(col2im(grad_cols, x.shape, kernel, stride, padding))
+
+    out._backward = _backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping or strided windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    cols, _, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).reshape(n, c, out_h, out_w)
+
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(x,) if requires else (), _op="max_pool2d")
+
+    def _backward():
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros((n, c, kernel * kernel, out_h * out_w), dtype=np.float32)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], out.grad.reshape(n, c, 1, out_h * out_w), axis=2)
+        grad_cols = grad_cols.reshape(n * c, kernel * kernel, out_h * out_w)
+        grad_x = col2im(grad_cols, (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    cols, _, _ = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, 0)
+    cols = cols.reshape(n, c, kernel * kernel, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(x,) if requires else (), _op="avg_pool2d")
+
+    def _backward():
+        if not x.requires_grad:
+            return
+        grad = out.grad.reshape(n, c, 1, out_h * out_w) / (kernel * kernel)
+        grad_cols = np.broadcast_to(grad, (n, c, kernel * kernel, out_h * out_w)).reshape(
+            n * c, kernel * kernel, out_h * out_w
+        )
+        grad_x = col2im(np.ascontiguousarray(grad_cols), (n * c, 1, h, w), kernel, stride, 0)
+        x._accumulate(grad_x.reshape(n, c, h, w))
+
+    out._backward = _backward
+    return out
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only the common ``output_size=1`` (global) case
+    plus exact divisors are supported."""
+    n, c, h, w = x.shape
+    if output_size == 1:
+        return x.mean(axis=(2, 3), keepdims=True)
+    assert h % output_size == 0 and w % output_size == 0, "adaptive pooling requires exact divisors"
+    return avg_pool2d(x, kernel=h // output_size, stride=h // output_size)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (any shape)."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[idx]
+    requires = is_grad_enabled() and weight.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(weight,) if requires else (), _op="embedding")
+
+    def _backward():
+        if not weight.requires_grad:
+            return
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, idx.reshape(-1), out.grad.reshape(-1, weight.shape[1]))
+        weight._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+def upsample_nearest(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+    n, c, h, w = x.shape
+    out_data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    requires = is_grad_enabled() and x.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(x,) if requires else (), _op="upsample")
+
+    def _backward():
+        if not x.requires_grad:
+            return
+        grad = out.grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout.  A seeded ``rng`` makes the mask stateless/replayable,
+    which the activation cache relies on for deterministic augmentation."""
+    if not training or p <= 0.0:
+        return x
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array into ``(..., num_classes)``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(idx.shape + (num_classes,), dtype=np.float32)
+    np.put_along_axis(out, idx[..., None], 1.0, axis=-1)
+    return out

@@ -1,0 +1,91 @@
+"""Weight initialisation schemes for the ``repro.nn`` layers.
+
+Provides Kaiming (He) and Xavier (Glorot) initialisers along with simple
+uniform/normal/constant fills.  All initialisers take an explicit
+``numpy.random.Generator`` so model construction is fully deterministic given
+a seed — a requirement for reproducible benchmark runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    Linear weights are ``(out, in)``; convolution weights are
+    ``(out, in, k, k)`` where the receptive field multiplies both fans.
+    """
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def kaiming_uniform(shape, rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialisation suited to ReLU networks."""
+    fan_in, _ = compute_fans(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape, rng: Optional[np.random.Generator] = None, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialisation suited to ReLU networks."""
+    fan_in, _ = compute_fans(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return (_rng(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialisation suited to tanh/linear/attention layers."""
+    fan_in, fan_out = compute_fans(shape)
+    bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot-normal initialisation."""
+    fan_in, fan_out = compute_fans(shape)
+    std = gain * math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return (_rng(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return _rng(rng).uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(shape, mean: float = 0.0, std: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return (mean + std * _rng(rng).standard_normal(shape)).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

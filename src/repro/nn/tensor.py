@@ -1,0 +1,569 @@
+"""A small reverse-mode automatic differentiation engine backed by numpy.
+
+This module provides the :class:`Tensor` class, the foundation of the
+``repro.nn`` substrate.  It mirrors the subset of the PyTorch tensor/autograd
+semantics that the Egeria reproduction relies on:
+
+* reverse-mode autodiff over a dynamically built DAG,
+* ``requires_grad`` flags on leaves so frozen parameters (and everything that
+  depends only on frozen parameters) are excluded from the backward pass,
+* broadcasting-aware gradients,
+* a :func:`no_grad` context manager used by the reference model and by the
+  activation cache.
+
+The design intentionally favours clarity over raw speed; all heavy math is
+delegated to numpy, and the models used in tests/benchmarks are scaled to a
+size where this engine trains them in seconds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_grad_enabled", "tensor", "zeros", "ones", "randn", "arange"]
+
+Number = Union[int, float]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient tracking is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> None:
+    """Globally enable or disable gradient tracking."""
+    global _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking.
+
+    Used for the reference-model forward pass, plasticity evaluation and
+    cached-activation replay, none of which need gradients.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(data: ArrayLike, dtype=np.float32) -> np.ndarray:
+    if isinstance(data, Tensor):
+        return data.data
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcasted op."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A multi-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array (scalar, list, ndarray, Tensor).
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.  Only floating point tensors may require grad.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __array_priority__ = 200  # numpy should defer to Tensor's operators
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, _prev: Iterable["Tensor"] = (), _op: str = ""):
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = tuple(_prev) if self.requires_grad or any(p.requires_grad for p in _prev) else ()
+        self._op: str = _op
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a copy of this tensor participating in the graph."""
+        out = self._make(self.data.copy(), (self,), "clone")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(out.grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    def _make(self, data: np.ndarray, prev: Tuple["Tensor", ...], op: str) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in prev)
+        out = Tensor(data, requires_grad=requires, _prev=prev if requires else (), _op=op)
+        return out
+
+    def _accumulate(self, grad: Optional[np.ndarray]) -> None:
+        if grad is None:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make(self.data + other.data, (self, other), "add")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make(self.data * other.data, (self, other), "mul")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) * self ** -1.0
+
+    def __pow__(self, power: Number) -> "Tensor":
+        assert isinstance(power, (int, float)), "only scalar powers are supported"
+        out = self._make(self.data ** power, (self,), f"pow{power}")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(power * self.data ** (power - 1) * out.grad)
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product supporting batched operands (numpy @ semantics)."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make(self.data @ other.data, (self, other), "matmul")
+
+        def _backward():
+            grad = out.grad
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self_grad = np.outer(grad, other.data) if self.data.ndim == 2 else grad[..., None] * other.data
+                else:
+                    self_grad = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(self_grad, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other_grad = np.outer(self.data, grad)
+                else:
+                    other_grad = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(other_grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+
+        def _backward():
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is None:
+                grad = np.broadcast_to(grad, self.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                grad = np.broadcast_to(grad, self.shape)
+            self._accumulate(grad.astype(np.float32))
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(out_data, (self,), "max")
+
+        def _backward():
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(np.float32)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out = self._make(np.exp(self.data), (self,), "exp")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(out.data * out.grad)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data + 1e-12), (self,), "log")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(out.grad / (self.data + 1e-12))
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def relu(self) -> "Tensor":
+        out = self._make(np.maximum(self.data, 0.0), (self,), "relu")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate((self.data > 0).astype(np.float32) * out.grad)
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make(sig, (self,), "sigmoid")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(sig * (1.0 - sig) * out.grad)
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        t = np.tanh(self.data)
+        out = self._make(t, (self,), "tanh")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate((1.0 - t * t) * out.grad)
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out = self._make(np.clip(self.data, low, high), (self,), "clip")
+
+        def _backward():
+            if self.requires_grad:
+                mask = ((self.data >= low) & (self.data <= high)).astype(np.float32)
+                self._accumulate(mask * out.grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,), "reshape")
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 0:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self._make(self.data.transpose(axes), (self,), "transpose")
+        inverse = np.argsort(axes)
+
+        def _backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,), "getitem")
+
+        def _backward():
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad the tensor.  ``pad_width`` follows ``np.pad`` convention."""
+        out = self._make(np.pad(self.data, pad_width), (self,), "pad")
+
+        def _backward():
+            if self.requires_grad:
+                slices = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, self.shape))
+                self._accumulate(out.grad[slices])
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Nodes whose subtree contains no ``requires_grad`` leaf are never
+        visited, which is precisely how frozen layer modules drop out of the
+        backward pass: once Egeria sets ``requires_grad=False`` on their
+        parameters, their portion of the graph is pruned here.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float32)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            node._backward()
+
+    def zero_grad(self) -> None:
+        """Clear any accumulated gradient."""
+        self.grad = None
+
+
+# ---------------------------------------------------------------------- #
+# Free-standing graph ops that combine multiple tensors
+# ---------------------------------------------------------------------- #
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else (), _op="concat")
+
+    def _backward():
+        start = 0
+        for t in tensors:
+            size = t.shape[axis]
+            idx = [slice(None)] * data.ndim
+            idx[axis] = slice(start, start + size)
+            if t.requires_grad:
+                t._accumulate(out.grad[tuple(idx)])
+            start += size
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else (), _op="stack")
+
+    def _backward():
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                idx = [slice(None)] * data.ndim
+                idx[axis] = i
+                t._accumulate(out.grad[tuple(idx)])
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select with gradient support for both branches."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    data = np.where(cond, a.data, b.data)
+    requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    out = Tensor(data, requires_grad=requires, _prev=(a, b) if requires else (), _op="where")
+
+    def _backward():
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(np.where(cond, out.grad, 0.0), a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(np.where(cond, 0.0, out.grad), b.shape))
+
+    out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Constructors
+# ---------------------------------------------------------------------- #
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> Tensor:
+    gen = rng if rng is not None else np.random.default_rng()
+    return Tensor(gen.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
+
+
+def arange(n: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(n, dtype=np.float32), requires_grad=requires_grad)

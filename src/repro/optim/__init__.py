@@ -1,0 +1,38 @@
+"""``repro.optim`` — optimizers and learning-rate schedulers.
+
+Provides the training-loop plumbing the paper's evaluation relies on: SGD for
+CNN workloads, Adam/AdamW for Transformer and BERT, plus the step-decay,
+inverse-square-root, linear, lambda (poly) and cyclical LR schedules whose
+drops drive Egeria's unfreezing rule.
+"""
+
+from .adam import Adam, AdamW
+from .lr_scheduler import (
+    CosineAnnealingLR,
+    CyclicalLR,
+    ExponentialLR,
+    InverseSquareRootLR,
+    LambdaLR,
+    LinearDecayLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+)
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "InverseSquareRootLR",
+    "LinearDecayLR",
+    "LambdaLR",
+    "CyclicalLR",
+]

@@ -1,0 +1,84 @@
+"""Adam and AdamW optimizers.
+
+Adam is used for the Transformer translation model (fairseq defaults) and
+AdamW for BERT fine-tuning, matching §6.1 of the paper.  As with SGD, state
+is keyed by parameter identity so freezing/unfreezing preserves the moment
+estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first/second moment estimates."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3, betas: Tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr=lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _update_moments(self, param: Parameter, grad: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        beta1, beta2 = self.betas
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+            self._m[key], self._v[key], self._t[key] = m, v, 0
+        v = self._v[key]
+        self._t[key] += 1
+        m *= beta1
+        m += (1.0 - beta1) * grad
+        v *= beta2
+        v += (1.0 - beta2) * grad * grad
+        return m, v, self._t[key]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        for param in self.params:
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m, v, t = self._update_moments(param, grad)
+            m_hat = m / (1.0 - beta1 ** t)
+            v_hat = v / (1.0 - beta2 ** t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._step_count += 1
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (used to fine-tune BERT)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3, betas: Tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        for param in self.params:
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            m, v, t = self._update_moments(param, grad)
+            m_hat = m / (1.0 - beta1 ** t)
+            v_hat = v / (1.0 - beta2 ** t)
+            update = m_hat / (np.sqrt(v_hat) + self.eps) + self.decoupled_weight_decay * param.data
+            param.data = param.data - self.lr * update
+        self._step_count += 1

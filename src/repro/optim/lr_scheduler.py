@@ -1,0 +1,189 @@
+"""Learning-rate schedulers.
+
+The paper evaluates with several schedules (§6.1): step decay for CV models,
+inverse square root for Transformer training, a linear schedule for BERT
+fine-tuning, and a Lambda schedule for DeepLabv3.  The unfreezing mechanism
+of Egeria (§4.2.2 / Algorithm 1 lines 19–26) watches the current LR through
+these schedulers: "restart training all the frozen layers if the LR has
+dropped over a factor of 10 since the frontmost layers' freeze".
+
+Cyclical schedules (cosine annealing with restarts, triangular cyclical LR)
+are also provided; they trigger the user-customisable unfreeze path instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .optimizer import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "InverseSquareRootLR",
+    "LinearDecayLR",
+    "LambdaLR",
+    "CyclicalLR",
+]
+
+
+class LRScheduler:
+    """Base class: computes the LR for an epoch/step and writes it into the optimizer."""
+
+    #: Whether the schedule is periodic (cosine/cyclical) — Egeria uses this to
+    #: pick between the LR-drop unfreeze rule and the customised unfreeze rule.
+    cyclical: bool = False
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.last_epoch = -1
+        self.step()
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self, epoch: Optional[int] = None) -> float:
+        """Advance the schedule and update ``optimizer.lr``; returns the new LR."""
+        self.last_epoch = self.last_epoch + 1 if epoch is None else epoch
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+    def history(self, num_epochs: int) -> List[float]:
+        """LR values for epochs ``0..num_epochs-1`` without touching state."""
+        return [self.get_lr(e) for e in range(num_epochs)]
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs (CV default)."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1, base_lr: Optional[float] = None):
+        self.step_size = step_size
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (max(epoch, 0) // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Decay the LR by ``gamma`` at each milestone epoch.
+
+    The paper's ResNet-56/CIFAR-10 reference run drops the LR at epochs 100
+    and 150 (Figure 1), i.e. ``milestones=[100, 150]``.
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1,
+                 base_lr: Optional[float] = None):
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95, base_lr: Optional[float] = None):
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** max(epoch, 0)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing, optionally with warm restarts (SGDR)."""
+
+    cyclical = True
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0, restarts: bool = False,
+                 base_lr: Optional[float] = None):
+        self.t_max = max(t_max, 1)
+        self.eta_min = eta_min
+        self.restarts = restarts
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        t = max(epoch, 0) % self.t_max if self.restarts else min(max(epoch, 0), self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * t / self.t_max))
+
+
+class InverseSquareRootLR(LRScheduler):
+    """fairseq-style inverse-square-root schedule with linear warmup."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int = 4000, base_lr: Optional[float] = None):
+        self.warmup_steps = max(warmup_steps, 1)
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        step = max(epoch, 0) + 1
+        if step < self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        return self.base_lr * math.sqrt(self.warmup_steps / step)
+
+
+class LinearDecayLR(LRScheduler):
+    """Linear decay to zero over ``total_steps`` (BERT fine-tuning schedule)."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int = 0,
+                 base_lr: Optional[float] = None):
+        self.total_steps = max(total_steps, 1)
+        self.warmup_steps = warmup_steps
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        step = max(epoch, 0)
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - step, 0) / max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining
+
+
+class LambdaLR(LRScheduler):
+    """Scale the base LR by an arbitrary user function of the epoch.
+
+    DeepLabv3 uses a polynomial ("poly") lambda schedule in the paper's
+    evaluation; the default lambda reproduces that shape.
+    """
+
+    def __init__(self, optimizer: Optimizer, lr_lambda=None, total_epochs: int = 60, power: float = 0.9,
+                 base_lr: Optional[float] = None):
+        if lr_lambda is None:
+            lr_lambda = lambda epoch: (1.0 - min(epoch, total_epochs) / max(total_epochs, 1)) ** power
+        self.lr_lambda = lr_lambda
+        super().__init__(optimizer, base_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * float(self.lr_lambda(max(epoch, 0)))
+
+
+class CyclicalLR(LRScheduler):
+    """Triangular cyclical learning rate (Smith, WACV 2017)."""
+
+    cyclical = True
+
+    def __init__(self, optimizer: Optimizer, min_lr: float, max_lr: float, cycle_length: int = 10,
+                 base_lr: Optional[float] = None):
+        self.min_lr = min_lr
+        self.max_lr = max_lr
+        self.cycle_length = max(cycle_length, 2)
+        super().__init__(optimizer, base_lr if base_lr is not None else max_lr)
+
+    def get_lr(self, epoch: int) -> float:
+        position = max(epoch, 0) % self.cycle_length
+        half = self.cycle_length / 2.0
+        fraction = position / half if position <= half else (self.cycle_length - position) / half
+        return self.min_lr + (self.max_lr - self.min_lr) * fraction

@@ -1,0 +1,40 @@
+"""Base optimizer interface shared by SGD and Adam."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list, learning rate and step counter.
+
+    The learning rate is a plain attribute mutated by the LR schedulers in
+    :mod:`repro.optim.lr_scheduler`; Egeria's unfreezing rule watches it
+    through :attr:`lr`.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of optimisation steps applied so far."""
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,116 @@
+"""Calibration observers for static quantization.
+
+PyTorch's static quantization calibrates activation ranges by running a few
+batches through the model with observers attached; the paper uses static
+quantization for convolutional networks (§5).  These observers reproduce that
+calibration step: they record per-tensor ranges (min/max or moving average)
+from which an activation scale is derived.  The reference-model generator uses
+them to report calibration statistics and to decide whether int8 is safe for a
+given model (falling back to higher precision "if the training DNN is
+extremely sensitive", §4.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .quantize import INT8, QuantizationSpec
+
+__all__ = ["MinMaxObserver", "MovingAverageObserver", "ActivationCalibrator"]
+
+
+class MinMaxObserver:
+    """Tracks the global min/max of every tensor it observes."""
+
+    def __init__(self, spec: QuantizationSpec = INT8):
+        self.spec = spec
+        self.min_val: Optional[float] = None
+        self.max_val: Optional[float] = None
+        self.num_observations = 0
+
+    def observe(self, array: np.ndarray) -> None:
+        """Update the range with one activation tensor."""
+        lo, hi = float(array.min()), float(array.max())
+        self.min_val = lo if self.min_val is None else min(self.min_val, lo)
+        self.max_val = hi if self.max_val is None else max(self.max_val, hi)
+        self.num_observations += 1
+
+    @property
+    def scale(self) -> float:
+        """Symmetric quantization scale derived from the observed range."""
+        if self.min_val is None or self.max_val is None:
+            return 1.0
+        max_abs = max(abs(self.min_val), abs(self.max_val))
+        return max_abs / self.spec.qmax if max_abs > 0 else 1.0
+
+
+class MovingAverageObserver(MinMaxObserver):
+    """Exponentially-smoothed range observer (more robust to outlier batches)."""
+
+    def __init__(self, spec: QuantizationSpec = INT8, momentum: float = 0.9):
+        super().__init__(spec)
+        self.momentum = momentum
+
+    def observe(self, array: np.ndarray) -> None:
+        lo, hi = float(array.min()), float(array.max())
+        if self.min_val is None:
+            self.min_val, self.max_val = lo, hi
+        else:
+            self.min_val = self.momentum * self.min_val + (1.0 - self.momentum) * lo
+            self.max_val = self.momentum * self.max_val + (1.0 - self.momentum) * hi
+        self.num_observations += 1
+
+
+@dataclass
+class ActivationCalibrator:
+    """Attaches observers to named modules and records activation ranges.
+
+    Usage::
+
+        calibrator = ActivationCalibrator(spec=INT8)
+        handles = calibrator.attach(model, module_names=["layer1", "layer2"])
+        for batch in calibration_batches:
+            model(batch)
+        calibrator.detach(handles)
+        scales = calibrator.scales()
+    """
+
+    spec: QuantizationSpec = INT8
+    moving_average: bool = False
+    observers: Dict[str, MinMaxObserver] = field(default_factory=dict)
+
+    def attach(self, model, module_names: Optional[List[str]] = None):
+        """Register forward hooks on the named submodules (all children if None)."""
+        handles = []
+        names = module_names if module_names is not None else [name for name, _ in model.named_children()]
+        for name in names:
+            module = model.get_submodule(name)
+            observer_cls = MovingAverageObserver if self.moving_average else MinMaxObserver
+            observer = observer_cls(self.spec)
+            self.observers[name] = observer
+
+            def hook(_module, _inputs, output, _observer=observer):
+                data = output.data if hasattr(output, "data") else np.asarray(output)
+                _observer.observe(data)
+
+            handles.append(module.register_forward_hook(hook))
+        return handles
+
+    @staticmethod
+    def detach(handles) -> None:
+        """Remove previously attached hooks."""
+        for handle in handles:
+            handle.remove()
+
+    def scales(self) -> Dict[str, float]:
+        """Per-module activation scales derived from the observed ranges."""
+        return {name: observer.scale for name, observer in self.observers.items()}
+
+    def num_calibration_batches(self) -> int:
+        """Number of batches seen by the most-observed module (0 if none)."""
+        if not self.observers:
+            return 0
+        return max(observer.num_observations for observer in self.observers.values())

@@ -1,0 +1,28 @@
+"""``repro.sim`` — analytical cost model, cluster topology and schedules.
+
+Substitutes the paper's GPU testbed: per-iteration forward/backward/
+synchronization times are derived from the model's layer-module structure,
+ring all-reduce over a leaf–spine cluster graph, and the scheduling policies
+compared in Figure 10.
+"""
+
+from .allreduce import AllReduceModel
+from .cluster import Cluster, ClusterSpec, GPUDevice, Machine, paper_testbed_cluster, single_node_cluster
+from .cost_model import CostModel, GPUSpec, IterationBreakdown
+from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
+
+__all__ = [
+    "CostModel",
+    "GPUSpec",
+    "IterationBreakdown",
+    "Cluster",
+    "ClusterSpec",
+    "Machine",
+    "GPUDevice",
+    "paper_testbed_cluster",
+    "single_node_cluster",
+    "AllReduceModel",
+    "SchedulePolicy",
+    "IterationTimeline",
+    "TimelineSimulator",
+]

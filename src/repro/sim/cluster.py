@@ -1,0 +1,147 @@
+"""Cluster and network topology model for distributed-training simulation.
+
+The paper's multi-node experiments (Figure 10) run on a 5-machine cluster with
+2 V100 GPUs per machine, 40 Gbps NICs, and a leaf–spine topology with two ToR
+and two core switches (§6.1).  This module reproduces that setup as a
+networkx graph so the all-reduce cost model can derive the bottleneck
+bandwidth between any pair of workers, and so tests can verify topology
+properties (paths traverse ToR/core switches, intra-machine traffic stays
+local, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["GPUDevice", "Machine", "ClusterSpec", "Cluster", "paper_testbed_cluster", "single_node_cluster"]
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """One GPU identified by ``(machine, local index)``."""
+
+    machine: str
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.machine}:gpu{self.index}"
+
+
+@dataclass
+class Machine:
+    """One server: GPUs, CPU cores and NIC bandwidth."""
+
+    name: str
+    num_gpus: int = 2
+    cpu_cores: int = 40
+    usable_cpu_cores: int = 12
+    nic_gbps: float = 40.0
+    pcie_gbps: float = 128.0
+
+    def gpus(self) -> List[GPUDevice]:
+        return [GPUDevice(self.name, i) for i in range(self.num_gpus)]
+
+
+@dataclass
+class ClusterSpec:
+    """Counts and link speeds describing a cluster."""
+
+    num_machines: int = 5
+    gpus_per_machine: int = 2
+    nic_gbps: float = 40.0
+    tor_uplink_gbps: float = 100.0
+    num_tor_switches: int = 2
+    num_core_switches: int = 2
+
+
+class Cluster:
+    """Leaf–spine cluster graph with bandwidth-annotated links."""
+
+    def __init__(self, spec: Optional[ClusterSpec] = None):
+        self.spec = spec or ClusterSpec()
+        self.machines: List[Machine] = [
+            Machine(name=f"node{i}", num_gpus=self.spec.gpus_per_machine, nic_gbps=self.spec.nic_gbps)
+            for i in range(self.spec.num_machines)
+        ]
+        self.graph = nx.Graph()
+        self._build_topology()
+
+    def _build_topology(self) -> None:
+        spec = self.spec
+        core_switches = [f"core{i}" for i in range(spec.num_core_switches)]
+        tor_switches = [f"tor{i}" for i in range(spec.num_tor_switches)]
+        for switch in core_switches + tor_switches:
+            self.graph.add_node(switch, kind="switch")
+        for tor in tor_switches:
+            for core in core_switches:
+                self.graph.add_edge(tor, core, gbps=spec.tor_uplink_gbps)
+        for index, machine in enumerate(self.machines):
+            self.graph.add_node(machine.name, kind="machine")
+            tor = tor_switches[index % len(tor_switches)]
+            self.graph.add_edge(machine.name, tor, gbps=machine.nic_gbps)
+            for gpu in machine.gpus():
+                self.graph.add_node(gpu.name, kind="gpu")
+                self.graph.add_edge(gpu.name, machine.name, gbps=machine.pcie_gbps)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def all_gpus(self) -> List[GPUDevice]:
+        return [gpu for machine in self.machines for gpu in machine.gpus()]
+
+    def workers(self, num_machines: Optional[int] = None, gpus_per_machine: Optional[int] = None) -> List[GPUDevice]:
+        """First ``num_machines x gpus_per_machine`` GPUs in placement order."""
+        machines = self.machines[: num_machines or len(self.machines)]
+        per_machine = gpus_per_machine or self.spec.gpus_per_machine
+        return [gpu for machine in machines for gpu in machine.gpus()[:per_machine]]
+
+    def path_bandwidth_gbps(self, a: str, b: str) -> float:
+        """Bottleneck bandwidth along the shortest path between two nodes."""
+        if a == b:
+            return float("inf")
+        path = nx.shortest_path(self.graph, a, b)
+        bandwidths = [self.graph.edges[u, v]["gbps"] for u, v in zip(path, path[1:])]
+        return min(bandwidths)
+
+    def worker_bottleneck_gbps(self, workers: List[GPUDevice]) -> float:
+        """Bottleneck bandwidth across all pairs of the given workers.
+
+        For ring all-reduce the slowest link on the ring bounds throughput;
+        with a leaf–spine fabric that is the NIC (or the ToR uplink when
+        oversubscribed).
+        """
+        if len(workers) <= 1:
+            return float("inf")
+        names = [w.name for w in workers]
+        bandwidth = float("inf")
+        for a, b in zip(names, names[1:] + names[:1]):
+            bandwidth = min(bandwidth, self.path_bandwidth_gbps(a, b))
+        return bandwidth
+
+    def is_single_machine(self, workers: List[GPUDevice]) -> bool:
+        return len({w.machine for w in workers}) <= 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "machines": len(self.machines),
+            "gpus": len(self.all_gpus()),
+            "nic_gbps": self.spec.nic_gbps,
+            "tor_uplink_gbps": self.spec.tor_uplink_gbps,
+            "nodes": self.graph.number_of_nodes(),
+            "links": self.graph.number_of_edges(),
+        }
+
+
+def paper_testbed_cluster() -> Cluster:
+    """The 5-node, 2xV100-per-node, 40 Gbps leaf–spine testbed of §6.1."""
+    return Cluster(ClusterSpec(num_machines=5, gpus_per_machine=2, nic_gbps=40.0,
+                               tor_uplink_gbps=100.0, num_tor_switches=2, num_core_switches=2))
+
+
+def single_node_cluster(num_gpus: int = 8) -> Cluster:
+    """The single 8x2080Ti machine used for Transformer-Tiny."""
+    return Cluster(ClusterSpec(num_machines=1, gpus_per_machine=num_gpus, nic_gbps=40.0))

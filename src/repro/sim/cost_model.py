@@ -1,0 +1,202 @@
+"""Analytical per-iteration cost model for DNN training.
+
+The paper reports *time* speedups measured on V100/2080 Ti testbeds.  Those
+GPUs are unavailable here, so this module provides the substitution described
+in DESIGN.md: an analytical cost model that derives forward/backward/
+synchronization times from the model's layer-module structure — the same
+structure Egeria freezes — so relative speedups (who wins, by roughly what
+factor) are preserved even though absolute times are synthetic.
+
+Model
+-----
+For a layer module with ``p`` parameters processing batch size ``b``:
+
+* forward compute time  = ``fp_seconds_per_param * p * b``
+* backward compute time = ``bp_fp_ratio`` x forward time (weight + input
+  gradients roughly double the work of the forward pass)
+* gradient volume       = ``4 p`` bytes (fp32 gradients)
+
+The default ``fp_fraction`` of an unfrozen iteration is ~0.35, matching the
+paper's observation that "the forward pass still takes up to 35% of the time
+of an iteration".  Frozen modules drop their backward time and gradient
+volume; modules served from the activation cache also drop their forward
+time (plus a small prefetch overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.modules import LayerModule
+
+__all__ = ["GPUSpec", "IterationBreakdown", "CostModel"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Throughput description of one accelerator.
+
+    ``fp_seconds_per_param`` is the forward-pass time contributed by one
+    parameter for one sample; defaults are arbitrary but consistent, since
+    only ratios matter for speedups.
+    """
+
+    name: str = "V100"
+    fp_seconds_per_param: float = 2.0e-9
+    bp_fp_ratio: float = 2.0
+    memory_gb: float = 32.0
+
+
+@dataclass
+class IterationBreakdown:
+    """Per-iteration time decomposition (seconds)."""
+
+    forward: float
+    backward: float
+    communication: float
+    cache_overhead: float = 0.0
+    reference_overhead: float = 0.0
+
+    @property
+    def compute(self) -> float:
+        return self.forward + self.backward
+
+    @property
+    def total(self) -> float:
+        """Total iteration time assuming communication overlapped with backward.
+
+        The exposed communication is whatever could not be hidden behind the
+        backward pass (baseline frameworks already overlap per-layer gradient
+        transmission with earlier layers' BP).
+        """
+        exposed_comm = max(self.communication - self.backward, 0.0)
+        return self.forward + self.backward + exposed_comm + self.cache_overhead + self.reference_overhead
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "forward": self.forward,
+            "backward": self.backward,
+            "communication": self.communication,
+            "cache_overhead": self.cache_overhead,
+            "reference_overhead": self.reference_overhead,
+            "total": self.total,
+        }
+
+
+class CostModel:
+    """Maps a model's layer modules and freezing state to iteration time.
+
+    Parameters
+    ----------
+    layer_modules:
+        The front-to-back module decomposition of the training model.
+    batch_size:
+        Mini-batch size per worker.
+    gpu:
+        Accelerator throughput description.
+    cache_overhead_fraction:
+        Prefetching/caching overhead as a fraction of the *saved* forward
+        time (loading a cached activation is much cheaper than recomputing it
+        but not free).
+    reference_overhead_fraction:
+        CPU reference-model overhead as a fraction of baseline iteration time
+        (the paper measures "up to 1.5%", §6.5).
+    """
+
+    def __init__(self, layer_modules: Sequence[LayerModule], batch_size: int = 32,
+                 gpu: Optional[GPUSpec] = None, cache_overhead_fraction: float = 0.15,
+                 reference_overhead_fraction: float = 0.015):
+        self.layer_modules = list(layer_modules)
+        self.batch_size = batch_size
+        self.gpu = gpu or GPUSpec()
+        self.cache_overhead_fraction = cache_overhead_fraction
+        self.reference_overhead_fraction = reference_overhead_fraction
+
+    # ------------------------------------------------------------------ #
+    # Per-module primitives
+    # ------------------------------------------------------------------ #
+    def module_forward_time(self, module: LayerModule) -> float:
+        return self.gpu.fp_seconds_per_param * module.num_params * self.batch_size
+
+    def module_backward_time(self, module: LayerModule) -> float:
+        return self.module_forward_time(module) * self.gpu.bp_fp_ratio
+
+    def module_gradient_bytes(self, module: LayerModule) -> int:
+        return module.num_params * 4
+
+    # ------------------------------------------------------------------ #
+    # Iteration-level accounting
+    # ------------------------------------------------------------------ #
+    def baseline_iteration(self, include_reference_overhead: bool = False) -> IterationBreakdown:
+        """Breakdown for a fully-unfrozen single-GPU iteration."""
+        return self.iteration(frozen_prefix=0, cached_fp=False,
+                              include_reference_overhead=include_reference_overhead)
+
+    def iteration(self, frozen_prefix: int = 0, cached_fp: bool = False,
+                  comm_seconds_per_byte: float = 0.0, include_reference_overhead: bool = True) -> IterationBreakdown:
+        """Breakdown for an iteration with the first ``frozen_prefix`` modules frozen.
+
+        Parameters
+        ----------
+        frozen_prefix:
+            Number of consecutive front modules whose backward pass (and
+            gradient synchronization) is skipped.
+        cached_fp:
+            Whether the frozen prefix's forward pass is served from the
+            activation cache (skipping its compute, paying a small prefetch
+            overhead instead).
+        comm_seconds_per_byte:
+            Per-byte all-reduce cost; zero for single-GPU training.
+        """
+        frozen_prefix = max(0, min(frozen_prefix, len(self.layer_modules)))
+        forward = 0.0
+        backward = 0.0
+        comm_bytes = 0
+        saved_forward = 0.0
+        for index, module in enumerate(self.layer_modules):
+            fp = self.module_forward_time(module)
+            if index < frozen_prefix:
+                if cached_fp:
+                    saved_forward += fp
+                else:
+                    forward += fp
+                continue
+            forward += fp
+            backward += self.module_backward_time(module)
+            comm_bytes += self.module_gradient_bytes(module)
+
+        cache_overhead = saved_forward * self.cache_overhead_fraction if cached_fp else 0.0
+        communication = comm_bytes * comm_seconds_per_byte
+        reference_overhead = 0.0
+        if include_reference_overhead:
+            baseline_compute = sum(self.module_forward_time(m) * (1 + self.gpu.bp_fp_ratio)
+                                   for m in self.layer_modules)
+            reference_overhead = baseline_compute * self.reference_overhead_fraction
+        return IterationBreakdown(
+            forward=forward,
+            backward=backward,
+            communication=communication,
+            cache_overhead=cache_overhead,
+            reference_overhead=reference_overhead,
+        )
+
+    def epoch_time(self, iterations: int, frozen_prefix: int = 0, cached_fp: bool = False,
+                   comm_seconds_per_byte: float = 0.0, include_reference_overhead: bool = True) -> float:
+        """Total time of ``iterations`` identical iterations."""
+        return self.iteration(frozen_prefix, cached_fp, comm_seconds_per_byte,
+                              include_reference_overhead).total * iterations
+
+    # ------------------------------------------------------------------ #
+    # Helpers used by the figure benches
+    # ------------------------------------------------------------------ #
+    def fp_fraction(self) -> float:
+        """Forward-pass share of the unfrozen iteration (paper: up to ~35%)."""
+        breakdown = self.baseline_iteration()
+        return breakdown.forward / breakdown.compute if breakdown.compute else 0.0
+
+    def potential_backward_saving(self, frozen_prefix: int) -> float:
+        """Fraction of compute saved by freezing the prefix's backward pass."""
+        baseline = self.baseline_iteration().compute
+        frozen = self.iteration(frozen_prefix, cached_fp=False, include_reference_overhead=False).compute
+        return (baseline - frozen) / baseline if baseline else 0.0

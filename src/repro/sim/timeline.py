@@ -1,0 +1,142 @@
+"""Iteration timelines under different computation/communication schedules.
+
+Figure 10 of the paper compares distributed-training throughput of:
+
+* the vanilla framework (PyTorch): per-layer gradient all-reduce issued as
+  soon as a layer's backward finishes, overlapping communication with the
+  backward pass of *earlier* (front) layers;
+* ByteScheduler: priority-based scheduling that additionally overlaps
+  communication with the *next iteration's forward pass*, i.e. the
+  theoretically optimal overlap;
+* Egeria: frozen layers are excluded from both backward compute and gradient
+  synchronization;
+* Egeria + ByteScheduler combined.
+
+:class:`TimelineSimulator` computes per-iteration times for each policy from
+the layer-module structure, the freezing state and the all-reduce model, and
+reports throughput (samples/second) — the metric Figure 10 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.modules import LayerModule
+from .allreduce import AllReduceModel
+from .cluster import GPUDevice
+from .cost_model import CostModel
+
+__all__ = ["SchedulePolicy", "IterationTimeline", "TimelineSimulator"]
+
+
+class SchedulePolicy:
+    """Names of the supported computation/communication schedules."""
+
+    VANILLA = "vanilla"
+    BYTESCHEDULER = "bytescheduler"
+    EGERIA = "egeria"
+    EGERIA_BYTESCHEDULER = "egeria+bytescheduler"
+
+    ALL = (VANILLA, BYTESCHEDULER, EGERIA, EGERIA_BYTESCHEDULER)
+
+
+@dataclass
+class IterationTimeline:
+    """Result of simulating one iteration under one policy."""
+
+    policy: str
+    forward: float
+    backward: float
+    communication: float
+    exposed_communication: float
+    total: float
+
+    def throughput(self, samples_per_iteration: int) -> float:
+        """Samples processed per second at this iteration time."""
+        return samples_per_iteration / self.total if self.total > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.policy,
+            "forward": self.forward,
+            "backward": self.backward,
+            "communication": self.communication,
+            "exposed_communication": self.exposed_communication,
+            "total": self.total,
+        }
+
+
+class TimelineSimulator:
+    """Computes iteration timelines for the Figure 10 policies."""
+
+    def __init__(self, layer_modules: Sequence[LayerModule], cost_model: CostModel,
+                 allreduce: AllReduceModel, workers: List[GPUDevice]):
+        self.layer_modules = list(layer_modules)
+        self.cost_model = cost_model
+        self.allreduce = allreduce
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def _compute_times(self, frozen_prefix: int, cached_fp: bool) -> Dict[str, float]:
+        breakdown = self.cost_model.iteration(frozen_prefix=frozen_prefix, cached_fp=cached_fp,
+                                              include_reference_overhead=False)
+        return {"forward": breakdown.forward + breakdown.cache_overhead, "backward": breakdown.backward}
+
+    def _gradient_bytes(self, frozen_prefix: int) -> int:
+        return sum(self.cost_model.module_gradient_bytes(m)
+                   for i, m in enumerate(self.layer_modules) if i >= frozen_prefix)
+
+    def _comm_time(self, frozen_prefix: int) -> float:
+        return self.allreduce.allreduce_seconds(self._gradient_bytes(frozen_prefix), self.workers)
+
+    # ------------------------------------------------------------------ #
+    # Policies
+    # ------------------------------------------------------------------ #
+    def simulate(self, policy: str, frozen_prefix: int = 0, cached_fp: bool = False) -> IterationTimeline:
+        """Simulate one iteration under the given schedule policy.
+
+        ``frozen_prefix``/``cached_fp`` only apply to the Egeria policies; the
+        vanilla and ByteScheduler baselines always train the full model.
+        """
+        if policy not in SchedulePolicy.ALL:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {SchedulePolicy.ALL}")
+        uses_freezing = policy in (SchedulePolicy.EGERIA, SchedulePolicy.EGERIA_BYTESCHEDULER)
+        prefix = frozen_prefix if uses_freezing else 0
+        cached = cached_fp if uses_freezing else False
+        compute = self._compute_times(prefix, cached)
+        communication = self._comm_time(prefix)
+
+        if policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER):
+            # Optimal priority scheduling: communication overlaps with BP and
+            # with the next iteration's FP; only the excess is exposed.
+            overlap_budget = compute["backward"] + compute["forward"]
+        else:
+            # Baseline framework: a layer's gradients are transmitted while
+            # earlier layers still run their backward pass, so roughly the
+            # backward time (minus the first module's share) is available.
+            overlap_budget = compute["backward"] * 0.8
+
+        exposed = max(communication - overlap_budget, 0.0)
+        total = compute["forward"] + compute["backward"] + exposed
+        return IterationTimeline(
+            policy=policy,
+            forward=compute["forward"],
+            backward=compute["backward"],
+            communication=communication,
+            exposed_communication=exposed,
+            total=total,
+        )
+
+    def throughput_sweep(self, policies: Optional[Sequence[str]] = None, frozen_prefix: int = 0,
+                         cached_fp: bool = True, samples_per_iteration: Optional[int] = None) -> Dict[str, float]:
+        """Throughput (samples/s) for each policy — one Figure 10 bar group."""
+        policies = list(policies or SchedulePolicy.ALL)
+        samples = samples_per_iteration or (self.cost_model.batch_size * max(len(self.workers), 1))
+        results: Dict[str, float] = {}
+        for policy in policies:
+            timeline = self.simulate(policy, frozen_prefix=frozen_prefix, cached_fp=cached_fp)
+            results[policy] = timeline.throughput(samples)
+        return results

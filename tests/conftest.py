@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core import ClassificationTask, parse_layer_modules
+from repro.data import DataLoader, make_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_model():
+    """A ResNet-8 small enough for per-test training."""
+    return models.resnet8(num_classes=4, width=0.5, seed=0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    return make_dataset("synthetic_cifar10", num_samples=48, num_classes=4, image_size=8, noise=0.8, seed=0)
+
+
+@pytest.fixture
+def tiny_loader(tiny_dataset):
+    return DataLoader(tiny_dataset, batch_size=8, seed=0)
+
+
+@pytest.fixture
+def classification_task():
+    return ClassificationTask()
+
+
+@pytest.fixture
+def tiny_layer_modules(tiny_model):
+    return parse_layer_modules(tiny_model)

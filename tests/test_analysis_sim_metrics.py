@@ -1,0 +1,269 @@
+"""Tests for the analysis (PWCCA/SVCCA), simulation (cost/cluster/all-reduce) and metrics packages."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.analysis import (
+    ConvergenceAnalyzer,
+    freezable_regions,
+    pwcca_distance,
+    pwcca_similarity,
+    svcca_distance,
+    svcca_similarity,
+    theoretical_saving,
+    truncate_to_variance,
+)
+from repro.core import parse_layer_modules
+from repro.metrics import (
+    EpochRecord,
+    RunHistory,
+    f1_spans,
+    mean_iou,
+    perplexity_from_loss,
+    span_f1_single,
+    top1_accuracy,
+    topk_accuracy,
+    tta_speedup,
+)
+from repro.sim import (
+    AllReduceModel,
+    CostModel,
+    GPUSpec,
+    SchedulePolicy,
+    TimelineSimulator,
+    paper_testbed_cluster,
+    single_node_cluster,
+)
+
+
+class TestPWCCA:
+    def test_identical_activations_distance_zero(self, rng):
+        a = rng.standard_normal((32, 12)).astype(np.float32)
+        assert pwcca_distance(a, a.copy()) < 0.05
+        assert pwcca_similarity(a, a.copy()) > 0.95
+
+    def test_random_vs_related_ordering(self, rng):
+        a = rng.standard_normal((64, 16)).astype(np.float32)
+        related = a @ rng.standard_normal((16, 16)).astype(np.float32)  # linear transform: high CCA
+        unrelated = rng.standard_normal((64, 16)).astype(np.float32)
+        assert pwcca_distance(a, related) < pwcca_distance(a, unrelated) + 0.2
+
+    def test_range_bounds(self, rng):
+        a = rng.standard_normal((20, 8)).astype(np.float32)
+        b = rng.standard_normal((20, 8)).astype(np.float32)
+        assert 0.0 <= pwcca_distance(a, b) <= 1.0
+
+    def test_handles_conv_activations(self, rng):
+        a = rng.standard_normal((8, 4, 5, 5)).astype(np.float32)
+        assert 0.0 <= pwcca_distance(a, a + 0.01) <= 1.0
+
+    def test_sample_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            pwcca_distance(rng.standard_normal((8, 4)), rng.standard_normal((9, 4)))
+
+
+class TestSVCCA:
+    def test_truncate_to_variance(self, rng):
+        x = rng.standard_normal((40, 20)).astype(np.float32)
+        reduced = truncate_to_variance(x, variance_fraction=0.9, max_dims=5)
+        assert reduced.shape[0] == 40 and reduced.shape[1] <= 5
+
+    def test_similarity_and_distance(self, rng):
+        a = rng.standard_normal((32, 10)).astype(np.float32)
+        assert svcca_similarity(a, a) > 0.9
+        assert svcca_distance(a, a) < 0.1
+
+
+class TestConvergenceHelpers:
+    def test_freezable_regions_detects_plateaus(self):
+        scores = [1.0, 0.8, 0.5, 0.31, 0.30, 0.30, 0.29, 0.6, 0.6, 0.6]
+        regions = freezable_regions(scores, stability_threshold=0.05, min_length=2)
+        assert regions
+        assert any(start >= 2 for start, _end in regions)
+
+    def test_freezable_regions_empty_for_steep_curve(self):
+        assert freezable_regions([10.0, 8.0, 6.0, 4.0, 2.0], stability_threshold=0.05) == []
+
+    def test_theoretical_saving_bounds(self):
+        saving = theoretical_saving([100, 100], [[(0, 4)], []], num_epochs=10)
+        assert 0.0 <= saving <= 1.0
+        assert saving == pytest.approx(0.25)
+        assert theoretical_saving([], [], 10) == 0.0
+
+    def test_convergence_analyzer_records(self, rng):
+        model = models.resnet8(num_classes=4, width=0.5, seed=0)
+        reference = models.resnet8(num_classes=4, width=0.5, seed=0)
+        modules = parse_layer_modules(model)
+        analyzer = ConvergenceAnalyzer(modules, metric="pwcca")
+        from repro import nn
+        inputs = (nn.Tensor(rng.standard_normal((8, 3, 8, 8)).astype(np.float32)),)
+        scores = analyzer.record(0, model, reference, inputs)
+        assert set(scores) == {m.name for m in modules}
+        assert analyzer.as_table()[0]["epoch"] == 0.0
+        assert 0.0 <= analyzer.estimated_saving() <= 1.0
+
+    def test_unknown_metric_raises(self):
+        model = models.resnet8(seed=0)
+        analyzer = ConvergenceAnalyzer(parse_layer_modules(model), metric="bogus")
+        with pytest.raises(ValueError):
+            analyzer._metric_fn()
+
+
+class TestCostModel:
+    def _cost_model(self):
+        model = models.resnet8(num_classes=4, seed=0)
+        return CostModel(parse_layer_modules(model), batch_size=16)
+
+    def test_freezing_reduces_iteration_time(self):
+        cost = self._cost_model()
+        baseline = cost.iteration(0, False, include_reference_overhead=False).total
+        frozen = cost.iteration(2, False, include_reference_overhead=False).total
+        cached = cost.iteration(2, True, include_reference_overhead=False).total
+        assert frozen < baseline
+        assert cached < frozen
+
+    def test_fp_fraction_around_one_third(self):
+        """bp_fp_ratio=2 means the forward pass is ~1/3 of compute (paper: up to 35%)."""
+        assert self._cost_model().fp_fraction() == pytest.approx(1.0 / 3.0, abs=0.02)
+
+    def test_reference_overhead_small(self):
+        cost = self._cost_model()
+        with_ref = cost.iteration(0, False, include_reference_overhead=True).total
+        without = cost.iteration(0, False, include_reference_overhead=False).total
+        assert (with_ref - without) / without < 0.05
+
+    def test_communication_overlap(self):
+        cost = self._cost_model()
+        breakdown = cost.iteration(0, False, comm_seconds_per_byte=0.0)
+        assert breakdown.communication == 0.0
+        heavy = cost.iteration(0, False, comm_seconds_per_byte=1e-6, include_reference_overhead=False)
+        assert heavy.total >= breakdown.compute
+
+    def test_potential_backward_saving_monotone(self):
+        cost = self._cost_model()
+        savings = [cost.potential_backward_saving(k) for k in range(4)]
+        assert savings == sorted(savings)
+
+    def test_epoch_time_scales_linearly(self):
+        cost = self._cost_model()
+        assert cost.epoch_time(10) == pytest.approx(cost.epoch_time(5) * 2)
+
+    def test_breakdown_as_dict(self):
+        breakdown = self._cost_model().iteration(1, True)
+        d = breakdown.as_dict()
+        assert {"forward", "backward", "communication", "total"} <= set(d)
+
+
+class TestClusterAndAllReduce:
+    def test_paper_testbed_shape(self):
+        cluster = paper_testbed_cluster()
+        info = cluster.describe()
+        assert info["machines"] == 5 and info["gpus"] == 10
+        assert len(cluster.workers(num_machines=3, gpus_per_machine=2)) == 6
+
+    def test_bottleneck_bandwidth_is_nic(self):
+        cluster = paper_testbed_cluster()
+        workers = cluster.workers(num_machines=2)
+        assert cluster.worker_bottleneck_gbps(workers) == pytest.approx(40.0)
+
+    def test_single_machine_detection(self):
+        cluster = single_node_cluster(num_gpus=8)
+        workers = cluster.workers(num_machines=1, gpus_per_machine=8)
+        assert cluster.is_single_machine(workers)
+
+    def test_allreduce_time_increases_with_volume_and_workers(self):
+        cluster = paper_testbed_cluster()
+        allreduce = AllReduceModel(cluster)
+        two = cluster.workers(num_machines=2)
+        five = cluster.workers(num_machines=5)
+        assert allreduce.allreduce_seconds(10_000_000, two) < allreduce.allreduce_seconds(20_000_000, two)
+        assert allreduce.allreduce_seconds(10_000_000, five) > allreduce.allreduce_seconds(10_000_000, two)
+        assert allreduce.allreduce_seconds(0, five) == 0.0
+        assert allreduce.allreduce_seconds(100, [five[0]]) == 0.0
+
+    def test_seconds_per_byte(self):
+        cluster = paper_testbed_cluster()
+        allreduce = AllReduceModel(cluster)
+        assert allreduce.seconds_per_byte(cluster.workers(num_machines=2)) > 0
+        assert allreduce.seconds_per_byte([cluster.workers()[0]]) == 0.0
+
+
+class TestTimeline:
+    def _simulator(self, num_machines=3):
+        model = models.resnet8(num_classes=4, seed=0)
+        modules = parse_layer_modules(model)
+        cluster = paper_testbed_cluster()
+        workers = cluster.workers(num_machines=num_machines)
+        return TimelineSimulator(modules, CostModel(modules, batch_size=16), AllReduceModel(cluster), workers)
+
+    def test_egeria_faster_than_vanilla(self):
+        sim = self._simulator()
+        vanilla = sim.simulate(SchedulePolicy.VANILLA)
+        egeria = sim.simulate(SchedulePolicy.EGERIA, frozen_prefix=2, cached_fp=True)
+        assert egeria.total < vanilla.total
+
+    def test_bytescheduler_hides_more_communication(self):
+        sim = self._simulator()
+        vanilla = sim.simulate(SchedulePolicy.VANILLA)
+        bytesched = sim.simulate(SchedulePolicy.BYTESCHEDULER)
+        assert bytesched.exposed_communication <= vanilla.exposed_communication
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            self._simulator().simulate("magic")
+
+    def test_throughput_sweep(self):
+        sweep = self._simulator().throughput_sweep(frozen_prefix=1)
+        assert set(sweep) == set(SchedulePolicy.ALL)
+        assert all(v > 0 for v in sweep.values())
+
+
+class TestMetrics:
+    def test_top1_and_topk(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(logits, np.array([1, 0])) == 1.0
+        assert topk_accuracy(logits, np.array([0, 1]), k=2) == 1.0
+
+    def test_mean_iou_perfect_and_disjoint(self):
+        pred = np.array([[0, 1], [1, 0]])
+        assert mean_iou(pred, pred, 2) == 1.0
+        assert mean_iou(pred, 1 - pred, 2) == 0.0
+
+    def test_perplexity(self):
+        assert perplexity_from_loss(0.0) == 1.0
+        assert perplexity_from_loss(100.0) < np.inf
+
+    def test_span_f1(self):
+        assert span_f1_single(2, 4, 2, 4) == 1.0
+        assert span_f1_single(0, 1, 4, 5) == 0.0
+        assert 0.0 < span_f1_single(2, 5, 3, 5) < 1.0
+        assert f1_spans([1], [2], [1], [2]) == 1.0
+
+    def _history(self, metrics, times, higher=True):
+        history = RunHistory(name="test", higher_is_better=higher)
+        for epoch, (metric, t) in enumerate(zip(metrics, times)):
+            history.add(EpochRecord(epoch=epoch, train_loss=1.0, metric=metric,
+                                    simulated_time=t, wall_time=t, learning_rate=0.1))
+        return history
+
+    def test_time_to_accuracy(self):
+        history = self._history([0.2, 0.5, 0.8], [10, 20, 30])
+        assert history.time_to_accuracy(0.5) == 20
+        assert history.time_to_accuracy(0.9) is None
+        assert history.epochs_to_accuracy(0.8) == 2
+
+    def test_time_to_accuracy_lower_is_better(self):
+        history = self._history([10.0, 5.0, 2.0], [10, 20, 30], higher=False)
+        assert history.time_to_accuracy(5.0) == 20
+        assert history.best_metric() == 2.0
+
+    def test_tta_speedup(self):
+        baseline = self._history([0.2, 0.5, 0.8], [10, 20, 30])
+        faster = self._history([0.2, 0.5, 0.8], [8, 15, 22])
+        assert tta_speedup(baseline, faster, target=0.8) == pytest.approx((30 - 22) / 30)
+        assert tta_speedup(baseline, self._history([0.1, 0.1, 0.1], [1, 2, 3]), 0.8) is None
+
+    def test_run_history_table(self):
+        history = self._history([0.5], [10])
+        assert history.as_table()[0]["metric"] == 0.5

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_train_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_train_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--workload", "alexnet"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "--workload", "resnet56_cifar10"])
+        assert args.systems == ["vanilla", "egeria"]
+        assert args.scale == "tiny"
+
+
+class TestCommands:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet56_cifar10" in out and "egeria" in out
+
+    def test_train_vanilla_one_epoch(self, capsys):
+        code = main(["train", "--workload", "resnet56_cifar10", "--system", "vanilla", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Final top1" in out
+
+    def test_train_egeria_prints_history(self, capsys):
+        code = main(["train", "--workload", "resnet56_cifar10", "--system", "egeria", "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out

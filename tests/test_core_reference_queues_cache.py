@@ -1,0 +1,210 @@
+"""Tests for the reference model, SPSC queues, activation cache and prefetcher."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import models, nn
+from repro.core import ActivationCache, EvaluationChannels, Prefetcher, ReferenceModel, SPSCQueue
+from repro.core.hooks import ActivationRecorder
+from repro.data import DataLoader, make_dataset
+
+
+class TestActivationRecorder:
+    def test_captures_named_module_output(self, tiny_model, rng):
+        recorder = ActivationRecorder(tiny_model, ["layer1.0"])
+        tiny_model(nn.Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+        activation = recorder.get("layer1.0")
+        assert activation is not None and activation.shape[0] == 2
+        recorder.remove()
+
+    def test_retarget(self, tiny_model, rng):
+        recorder = ActivationRecorder(tiny_model, ["layer1.0"])
+        recorder.retarget(["layer2.0"])
+        tiny_model(nn.Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32)))
+        assert recorder.get("layer1.0") is None
+        assert recorder.get("layer2.0") is not None
+        recorder.remove()
+
+    def test_context_manager_removes_hooks(self, tiny_model, rng):
+        with ActivationRecorder(tiny_model, ["conv1"]) as recorder:
+            tiny_model(nn.Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32)))
+            assert recorder.get("conv1") is not None
+        assert not tiny_model.get_submodule("conv1")._forward_hooks
+
+
+class TestReferenceModel:
+    def _factory(self):
+        return models.resnet8(num_classes=4, width=0.5, seed=0)
+
+    def test_generate_copies_weights_with_quantization_error(self, tiny_model):
+        reference = ReferenceModel(self._factory, precision="int8")
+        reference.generate(tiny_model, iteration=5)
+        assert reference.model is not None
+        original = tiny_model.conv1.weight.data
+        quantized = reference.model.conv1.weight.data
+        assert np.allclose(original, quantized, atol=0.1)
+        assert reference.stats.generations == 1
+        assert reference.stats.last_snapshot_iteration == 5
+
+    def test_update_and_staleness(self, tiny_model):
+        reference = ReferenceModel(self._factory)
+        reference.generate(tiny_model, iteration=0)
+        tiny_model.conv1.weight.data += 1.0
+        reference.update(tiny_model, iteration=10)
+        assert reference.stats.updates == 1
+        assert reference.staleness(15) == 5
+        assert np.allclose(reference.model.conv1.weight.data, tiny_model.conv1.weight.data, atol=0.2)
+
+    def test_forward_returns_hooked_activation(self, tiny_model, rng):
+        reference = ReferenceModel(self._factory)
+        reference.monitor(["layer1.0"])
+        reference.generate(tiny_model)
+        activations = reference.forward(nn.Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+        assert "layer1.0" in activations
+        assert reference.stats.forward_passes == 1
+
+    def test_forward_without_generate_raises(self):
+        reference = ReferenceModel(self._factory)
+        with pytest.raises(RuntimeError):
+            reference.forward(nn.Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32)))
+
+    def test_precision_metadata(self):
+        assert ReferenceModel(self._factory, precision="int8").cpu_speedup > \
+            ReferenceModel(self._factory, precision="float32").cpu_speedup
+        assert ReferenceModel(self._factory, precision="int8").memory_ratio < 1.0
+        with pytest.raises(ValueError):
+            ReferenceModel(self._factory, precision="int2")
+
+    def test_estimated_forward_seconds(self):
+        reference = ReferenceModel(self._factory, precision="int8")
+        assert reference.estimated_forward_seconds(3.59) == pytest.approx(1.0)
+
+
+class TestSPSCQueue:
+    def test_fifo_order(self):
+        queue = SPSCQueue(maxsize=4)
+        for i in range(3):
+            assert queue.put(i)
+        assert [queue.get(), queue.get(), queue.get()] == [0, 1, 2]
+        assert queue.get() is None
+
+    def test_drop_when_full(self):
+        queue = SPSCQueue(maxsize=2)
+        assert queue.put(1) and queue.put(2)
+        assert not queue.put(3)
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_peek_and_clear(self):
+        queue = SPSCQueue(maxsize=2)
+        queue.put("a")
+        assert queue.peek() == "a" and len(queue) == 1
+        queue.clear()
+        assert queue.empty()
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            SPSCQueue(maxsize=0)
+
+    def test_evaluation_channels(self):
+        channels = EvaluationChannels()
+        channels.training_output_queue.put({"iteration": 1})
+        assert channels.pending_evaluations() == 1
+        channels.clear()
+        assert channels.pending_evaluations() == 0
+
+
+class TestActivationCache:
+    def test_store_and_load_roundtrip(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path), memory_batches=2, batch_size=4)
+        activation = rng.standard_normal((8, 4)).astype(np.float32)
+        assert cache.store(3, activation)
+        loaded = cache.load(3)
+        assert np.allclose(loaded, activation)
+        assert cache.stats.hits == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        assert cache.load(99) is None
+        assert cache.stats.misses == 1
+
+    def test_load_batch_all_or_nothing(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        acts = rng.standard_normal((4, 6)).astype(np.float32)
+        cache.store_batch([0, 1, 2, 3], acts)
+        batch = cache.load_batch([0, 1, 2, 3])
+        assert batch.shape == (4, 6)
+        assert cache.load_batch([0, 1, 99]) is None
+
+    def test_memory_eviction_lru(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path), memory_batches=1, batch_size=2)
+        for i in range(5):
+            cache.store(i, rng.standard_normal(3).astype(np.float32))
+            cache.load(i)
+        assert cache.memory_entries <= 2
+        # Evicted entries are still served from disk.
+        assert cache.load(0) is not None
+
+    def test_invalidate_on_prefix_version_change(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        cache.store(1, rng.standard_normal(3).astype(np.float32))
+        cache.set_prefix_version(2)
+        assert cache.load(1) is None
+        assert cache.stats.invalidations == 1
+        assert cache.disk_bytes == 0
+
+    def test_disk_budget_respected(self, tmp_path, rng):
+        activation = rng.standard_normal(100).astype(np.float32)
+        cache = ActivationCache(cache_dir=str(tmp_path), max_disk_bytes=activation.nbytes)
+        assert cache.store(0, activation)
+        assert not cache.store(1, activation)
+
+    def test_storage_ratio(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        cache.store(0, rng.standard_normal((8, 8)).astype(np.float32))
+        ratio = cache.storage_ratio(input_bytes_per_sample=64)
+        assert ratio == pytest.approx((8 * 8 * 4) / 64)
+
+    def test_temporary_dir_cleanup(self, rng):
+        cache = ActivationCache()
+        path = cache.cache_dir
+        cache.store(0, rng.standard_normal(3).astype(np.float32))
+        cache.close()
+        assert not os.path.isdir(path)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=30, unique=True))
+    @settings(max_examples=15, deadline=None)
+    def test_property_every_stored_sample_is_loadable(self, sample_ids):
+        rng = np.random.default_rng(0)
+        with ActivationCache(memory_batches=2, batch_size=4) as cache:
+            for sample_id in sample_ids:
+                cache.store(sample_id, rng.standard_normal(5).astype(np.float32))
+            for sample_id in sample_ids:
+                assert cache.load(sample_id) is not None
+
+
+class TestPrefetcher:
+    def test_prefetch_pulls_future_batches_into_memory(self, tmp_path, rng):
+        dataset = make_dataset("synthetic_cifar10", num_samples=32, seed=0)
+        loader = DataLoader(dataset, batch_size=8, seed=0)
+        loader.set_epoch(0)
+        cache = ActivationCache(cache_dir=str(tmp_path), memory_batches=4, batch_size=8)
+        for i in range(32):
+            cache.store(i, rng.standard_normal(4).astype(np.float32))
+        cache._memory.clear()
+        prefetcher = Prefetcher(cache, lookahead_batches=2)
+        loaded = prefetcher.prefetch(loader.peek_future_indices(num_batches=2))
+        assert loaded == 16
+        assert cache.stats.prefetches == 16
+        # The prefetched samples hit in memory without another disk read.
+        future = loader.peek_future_indices(num_batches=1)[0]
+        assert all(int(i) in cache._memory for i in future)
+
+    def test_prefetch_skips_missing_entries(self, tmp_path):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        prefetcher = Prefetcher(cache, lookahead_batches=1)
+        assert prefetcher.prefetch([[1, 2, 3]]) == 0

@@ -1,0 +1,182 @@
+"""Tests for synthetic datasets, the look-ahead data loader and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    StatelessAugmentation,
+    SyntheticImageClassification,
+    SyntheticQuestionAnswering,
+    SyntheticSegmentation,
+    SyntheticTranslation,
+    make_dataset,
+)
+
+
+class TestDatasets:
+    def test_classification_shapes_and_determinism(self):
+        ds = SyntheticImageClassification(num_samples=20, num_classes=5, image_size=8, seed=3)
+        batch = ds.get_batch(np.arange(4))
+        assert batch.inputs.shape == (4, 3, 8, 8)
+        assert batch.targets.shape == (4,)
+        again = ds.get_batch(np.arange(4))
+        assert np.allclose(batch.inputs, again.inputs)
+
+    def test_classification_same_seed_same_data(self):
+        a = SyntheticImageClassification(num_samples=10, seed=1).get_batch(np.arange(3))
+        b = SyntheticImageClassification(num_samples=10, seed=1).get_batch(np.arange(3))
+        assert np.allclose(a.inputs, b.inputs)
+
+    def test_classification_classes_are_separable(self):
+        """Same-class samples are closer than different-class samples on average."""
+        ds = SyntheticImageClassification(num_samples=60, num_classes=3, image_size=8, noise=0.3, seed=0)
+        batch = ds.get_batch(np.arange(60))
+        flat = batch.inputs.reshape(60, -1)
+        same, diff = [], []
+        for i in range(30):
+            for j in range(i + 1, 30):
+                dist = np.linalg.norm(flat[i] - flat[j])
+                (same if batch.targets[i] == batch.targets[j] else diff).append(dist)
+        assert np.mean(same) < np.mean(diff)
+
+    def test_segmentation_targets_are_valid_classes(self):
+        ds = SyntheticSegmentation(num_samples=6, num_classes=5, image_size=16, seed=0)
+        batch = ds.get_batch(np.arange(6))
+        assert batch.inputs.shape == (6, 3, 16, 16)
+        assert batch.targets.min() >= 0 and batch.targets.max() < 5
+
+    def test_translation_mapping_consistent(self):
+        ds = SyntheticTranslation(num_samples=10, vocab_size=16, seq_len=6, seed=0)
+        batch = ds.get_batch(np.arange(10))
+        expected = (ds.permutation[batch.inputs] + 1) % 16
+        expected[expected == 0] = 1
+        assert np.array_equal(batch.targets, expected)
+        assert "decoder_inputs" in batch.extras
+
+    def test_qa_spans_within_sequence(self):
+        ds = SyntheticQuestionAnswering(num_samples=20, seq_len=12, seed=0)
+        batch = ds.get_batch(np.arange(20))
+        starts, ends = batch.targets[:, 0], batch.targets[:, 1]
+        assert (starts <= ends).all()
+        assert (ends < 12).all()
+
+    def test_make_dataset_factory_and_overrides(self):
+        ds = make_dataset("synthetic_voc", num_samples=4, num_classes=3)
+        assert ds.num_classes == 3
+        with pytest.raises(KeyError):
+            make_dataset("not_a_dataset")
+
+    def test_split_shares_distribution(self):
+        full = make_dataset("synthetic_cifar10", num_samples=50, num_classes=4, seed=0)
+        train, evaluation = full.split(eval_fraction=0.2)
+        assert len(train) == 40 and len(evaluation) == 10
+        # Eval indices map onto the tail of the parent dataset.
+        batch = evaluation.get_batch(np.array([0]))
+        parent_batch = full.get_batch(np.array([40]))
+        assert np.allclose(batch.inputs, parent_batch.inputs)
+        # Metadata is delegated to the parent.
+        assert train.num_classes == 4
+
+    def test_split_invalid_fraction(self):
+        full = make_dataset("synthetic_cifar10", num_samples=10)
+        with pytest.raises(ValueError):
+            full.split(eval_fraction=1.5)
+
+    def test_input_nbytes(self):
+        ds = SyntheticImageClassification(num_samples=2, image_size=8)
+        assert ds.input_nbytes_per_sample() == 3 * 8 * 8 * 4
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset_without_replacement(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=32, seed=0)
+        loader = DataLoader(ds, batch_size=8, seed=0)
+        seen = []
+        for batch in loader:
+            seen.extend(batch.indices.tolist())
+        assert sorted(seen) == list(range(32))
+
+    def test_drop_last(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=30, seed=0)
+        assert len(DataLoader(ds, batch_size=8, drop_last=True)) == 3
+        assert len(DataLoader(ds, batch_size=8, drop_last=False)) == 4
+
+    def test_epoch_order_deterministic_per_epoch(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=32, seed=0)
+        loader_a = DataLoader(ds, batch_size=8, seed=5)
+        loader_b = DataLoader(ds, batch_size=8, seed=5)
+        loader_a.set_epoch(3)
+        loader_b.set_epoch(3)
+        assert np.array_equal(loader_a.next_batch().indices, loader_b.next_batch().indices)
+
+    def test_different_epochs_shuffle_differently(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=64, seed=0)
+        loader = DataLoader(ds, batch_size=64, seed=0)
+        loader.set_epoch(0)
+        first = loader.next_batch().indices.copy()
+        loader.set_epoch(1)
+        second = loader.next_batch().indices.copy()
+        assert not np.array_equal(first, second)
+
+    def test_peek_future_matches_actual_iteration(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=48, seed=0)
+        loader = DataLoader(ds, batch_size=8, seed=0)
+        loader.set_epoch(0)
+        future = loader.peek_future_indices(num_batches=3)
+        actual = [loader.next_batch().indices for _ in range(3)]
+        for f, a in zip(future, actual):
+            assert np.array_equal(f, a)
+
+    def test_peek_crosses_epoch_boundary(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=16, seed=0)
+        loader = DataLoader(ds, batch_size=8, seed=0)
+        loader.set_epoch(0)
+        loader.next_batch()
+        future = loader.peek_future_indices(num_batches=3)
+        assert len(future) == 3  # 1 left in epoch 0 + 2 from epoch 1
+
+    def test_invalid_batch_size(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=8)
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+    def test_no_shuffle_keeps_order(self):
+        ds = make_dataset("synthetic_cifar10", num_samples=16, seed=0)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        loader.set_epoch(0)
+        assert np.array_equal(loader.next_batch().indices, [0, 1, 2, 3])
+
+
+class TestAugmentation:
+    def test_stateless_replay_identical(self, rng):
+        aug = StatelessAugmentation(base_seed=42)
+        image = rng.standard_normal((3, 8, 8)).astype(np.float32)
+        first = aug.apply_sample(image, sample_index=7)
+        second = aug.apply_sample(image, sample_index=7)
+        assert np.allclose(first, second)
+
+    def test_different_samples_get_different_augmentation(self, rng):
+        aug = StatelessAugmentation(base_seed=42, jitter=False)
+        image = rng.standard_normal((3, 8, 8)).astype(np.float32)
+        outputs = [aug.apply_sample(image, sample_index=i) for i in range(10)]
+        assert any(not np.allclose(outputs[0], other) for other in outputs[1:])
+
+    def test_apply_batch_shape(self, rng):
+        aug = StatelessAugmentation(base_seed=0)
+        images = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        out = aug.apply_batch(images, indices=[0, 1, 2, 3])
+        assert out.shape == images.shape
+
+    def test_translate_preserves_shape_and_zero_fills(self, rng):
+        from repro.data.augmentation import random_translate
+        image = np.ones((1, 6, 6), dtype=np.float32)
+        out = random_translate(image, np.random.default_rng(1), max_shift=2)
+        assert out.shape == image.shape
+        assert out.sum() <= image.sum()
+
+    def test_flip_probability_zero_is_identity(self, rng):
+        from repro.data.augmentation import random_horizontal_flip
+        image = rng.standard_normal((3, 4, 4)).astype(np.float32)
+        out = random_horizontal_flip(image, np.random.default_rng(0), probability=0.0)
+        assert np.allclose(out, image)
