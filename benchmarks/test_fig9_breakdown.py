@@ -24,3 +24,6 @@ def test_fig9_breakdown(benchmark, scale):
         # (paper: "generally contributes more for CNN models ... but all less
         # than 10%").
         assert 0.0 <= row["fp_caching_extra_saving"] <= 0.12
+        # The closed-form CostModel fast path stays within 5% of the
+        # event-driven engine on these single-job configurations.
+        assert row["closed_form_deviation"] <= 0.05

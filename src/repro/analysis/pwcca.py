@@ -85,13 +85,19 @@ def pwcca_similarity(x: np.ndarray, y: np.ndarray, max_dims: Optional[int] = 32)
     # Weight each canonical correlation by how much of X it accounts for.
     projections = np.abs(x_directions.T @ x_flat)
     weights = projections.sum(axis=1)
+    # Truncate FIRST, then normalize over the kept directions: normalizing
+    # over all directions and then truncating leaves the weights summing to
+    # less than 1 whenever k < len(weights), which deflates the similarity
+    # (and inflates the distance) for rank-mismatched inputs.
+    k = min(len(weights), len(correlations))
+    weights = weights[:k]
+    correlations = correlations[:k]
     total = weights.sum()
     if total <= 0:
-        weights = np.ones_like(correlations) / len(correlations)
+        weights = np.ones_like(correlations) / max(len(correlations), 1)
     else:
         weights = weights / total
-    k = min(len(weights), len(correlations))
-    return float(np.sum(weights[:k] * correlations[:k]))
+    return float(np.clip(np.sum(weights * correlations), 0.0, 1.0))
 
 
 def pwcca_distance(training_activation: np.ndarray, reference_activation: np.ndarray,

@@ -30,6 +30,7 @@ from ..core.modules import LayerModule
 from ..sim.allreduce import AllReduceModel
 from ..sim.cluster import Cluster, GPUDevice, paper_testbed_cluster
 from ..sim.cost_model import CostModel
+from ..sim.engine import EventDrivenEngine
 from ..sim.timeline import SchedulePolicy, TimelineSimulator
 
 __all__ = ["ByteSchedulerModel", "DistributedThroughputComparison"]
@@ -54,42 +55,63 @@ class ByteSchedulerModel:
 
 
 class DistributedThroughputComparison:
-    """Builds the Figure 10 comparison for one model and one cluster size."""
+    """Builds the Figure 10 comparison for one model and one cluster size.
+
+    ``backend`` selects how the per-policy iteration time is obtained:
+
+    * ``"event"`` (default) — the discrete-event engine replays several
+      iterations and reports the steady-state spacing, so bucket
+      serialization, the slowest-worker barrier and ByteScheduler's overlap
+      with the next forward pass all emerge from actual events;
+    * ``"closed_form"`` — the original analytical
+      :class:`~repro.sim.timeline.TimelineSimulator` (fast fallback, kept
+      validated against the engine).
+    """
+
+    BACKENDS = ("event", "closed_form")
 
     def __init__(self, layer_modules: Sequence[LayerModule], batch_size: int = 32,
-                 cluster: Optional[Cluster] = None, bytescheduler: Optional[ByteSchedulerModel] = None):
+                 cluster: Optional[Cluster] = None, bytescheduler: Optional[ByteSchedulerModel] = None,
+                 backend: str = "event", engine: Optional[EventDrivenEngine] = None):
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {self.BACKENDS}")
         self.layer_modules = list(layer_modules)
         self.batch_size = batch_size
         self.cluster = cluster or paper_testbed_cluster()
         self.bytescheduler = bytescheduler or ByteSchedulerModel()
+        self.backend = backend
+        self.engine = engine or EventDrivenEngine(self.cluster)
 
     def _simulator(self, workers: List[GPUDevice]) -> TimelineSimulator:
         cost_model = CostModel(self.layer_modules, batch_size=self.batch_size)
         allreduce = AllReduceModel(self.cluster)
         return TimelineSimulator(self.layer_modules, cost_model, allreduce, workers)
 
+    def _policy_seconds(self, policy: str, workers: List[GPUDevice], frozen_prefix: int,
+                        cached_fp: bool) -> float:
+        """Steady-state iteration seconds for one policy."""
+        uses_freezing = policy in (SchedulePolicy.EGERIA, SchedulePolicy.EGERIA_BYTESCHEDULER)
+        prefix = frozen_prefix if uses_freezing else 0
+        cached = cached_fp if uses_freezing else False
+        if self.backend == "closed_form":
+            return self._simulator(workers).simulate(policy, frozen_prefix=prefix, cached_fp=cached).total
+        cost_model = CostModel(self.layer_modules, batch_size=self.batch_size)
+        return self.engine.steady_iteration_seconds(cost_model, workers=workers, frozen_prefix=prefix,
+                                                    cached_fp=cached, policy=policy)
+
     def throughputs(self, num_machines: int, gpus_per_machine: int = 2, frozen_prefix: int = 0,
                     cached_fp: bool = True) -> Dict[str, float]:
         """Samples/second for the four policies at the given cluster size."""
         workers = self.cluster.workers(num_machines=num_machines, gpus_per_machine=gpus_per_machine)
-        simulator = self._simulator(workers)
         samples_per_iteration = self.batch_size * len(workers)
+        overhead = 1.0 + self.bytescheduler.scheduling_overhead_fraction
 
         results: Dict[str, float] = {}
-        vanilla = simulator.simulate(SchedulePolicy.VANILLA)
-        results[SchedulePolicy.VANILLA] = vanilla.throughput(samples_per_iteration)
-
-        bytesched_time = self.bytescheduler.iteration_time(simulator)
-        results[SchedulePolicy.BYTESCHEDULER] = samples_per_iteration / bytesched_time if bytesched_time else 0.0
-
-        egeria = simulator.simulate(SchedulePolicy.EGERIA, frozen_prefix=frozen_prefix, cached_fp=cached_fp)
-        results[SchedulePolicy.EGERIA] = egeria.throughput(samples_per_iteration)
-
-        combined_time = self.bytescheduler.iteration_time(simulator, frozen_prefix=frozen_prefix,
-                                                          cached_fp=cached_fp, with_egeria=True)
-        results[SchedulePolicy.EGERIA_BYTESCHEDULER] = (
-            samples_per_iteration / combined_time if combined_time else 0.0
-        )
+        for policy in SchedulePolicy.ALL:
+            seconds = self._policy_seconds(policy, workers, frozen_prefix, cached_fp)
+            if policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER):
+                seconds *= overhead
+            results[policy] = samples_per_iteration / seconds if seconds > 0 else 0.0
         return results
 
     def scaling_sweep(self, machine_counts: Sequence[int], gpus_per_machine: int = 2,

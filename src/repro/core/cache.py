@@ -92,10 +92,17 @@ class ActivationCache:
         self.memory_capacity = max(memory_batches * batch_size, 1)
         self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
-        #: Version of the frozen prefix the cached activations belong to.
+        #: Length of the frozen prefix the cached activations belong to
+        #: (descriptive only; validity is keyed by ``generation``).
         self.prefix_version = 0
+        #: Monotonically increasing generation counter.  Every prefix change
+        #: — freeze *or* unfreeze — bumps it, so a version number that
+        #: numerically recurs (e.g. refreezing back to the same prefix length
+        #: after an unfreeze) can never alias entries from an earlier era.
+        self.generation = 0
         self._memory: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._on_disk: Dict[int, str] = {}
+        self._entry_bytes: Dict[int, int] = {}
         self._disk_bytes = 0
 
     # ------------------------------------------------------------------ #
@@ -104,8 +111,20 @@ class ActivationCache:
     def set_prefix_version(self, version: int) -> None:
         """Invalidate everything when the frozen prefix changes."""
         if version != self.prefix_version:
-            self.invalidate()
             self.prefix_version = version
+            self.new_generation()
+
+    def new_generation(self) -> int:
+        """Unconditionally start a fresh cache generation (drops everything).
+
+        Unlike :meth:`set_prefix_version` this invalidates even when the
+        nominal prefix length is unchanged — the unfreeze path relies on it,
+        because after unfreeze → refreeze the prefix *length* may repeat while
+        the frozen weights (and hence the cached activations) differ.
+        """
+        self.invalidate()
+        self.generation += 1
+        return self.generation
 
     def invalidate(self) -> None:
         """Drop all cached activations (memory and disk)."""
@@ -116,24 +135,38 @@ class ActivationCache:
             except OSError:
                 pass
         self._on_disk.clear()
+        self._entry_bytes.clear()
         self._disk_bytes = 0
         self.stats.invalidations += 1
 
     def _path_for(self, sample_id: int) -> str:
-        return os.path.join(self.cache_dir, f"sample_{int(sample_id)}_v{self.prefix_version}.npy")
+        return os.path.join(self.cache_dir, f"sample_{int(sample_id)}_g{self.generation}.npy")
 
     # ------------------------------------------------------------------ #
     # Store / load
     # ------------------------------------------------------------------ #
     def store(self, sample_id: int, activation: np.ndarray) -> bool:
-        """Persist one sample's frozen-prefix activation to disk."""
+        """Persist one sample's frozen-prefix activation to disk.
+
+        Re-storing an existing sample id overwrites its file, so only the
+        *delta* counts against ``max_disk_bytes`` and ``_disk_bytes`` —
+        previously the old array's bytes were double-counted, silently
+        shrinking the storage budget and inflating ``storage_ratio()``.
+        """
+        sample_id = int(sample_id)
         array = np.asarray(activation, dtype=np.float32)
-        if self.max_disk_bytes is not None and self._disk_bytes + array.nbytes > self.max_disk_bytes:
+        previous_bytes = self._entry_bytes.get(sample_id, 0)
+        if self.max_disk_bytes is not None and \
+                self._disk_bytes - previous_bytes + array.nbytes > self.max_disk_bytes:
             return False
         path = self._path_for(sample_id)
         np.save(path, array)
-        self._on_disk[int(sample_id)] = path
-        self._disk_bytes += array.nbytes
+        self._on_disk[sample_id] = path
+        self._entry_bytes[sample_id] = array.nbytes
+        self._disk_bytes += array.nbytes - previous_bytes
+        if sample_id in self._memory:
+            # Keep the in-memory table coherent with the overwritten file.
+            self._memory[sample_id] = array
         self.stats.stores += 1
         self.stats.bytes_written += array.nbytes
         return True

@@ -29,6 +29,8 @@ from ..nn.module import Module
 from ..optim.lr_scheduler import LRScheduler
 from ..optim.optimizer import Optimizer
 from ..sim.cost_model import CostModel
+from ..sim.engine import EventDrivenEngine
+from ..sim.timeline import SchedulePolicy
 from .cache import ActivationCache, Prefetcher
 from .config import EgeriaConfig
 from .controller import EgeriaController
@@ -81,6 +83,14 @@ class BaseTrainer:
         self.comm_seconds_per_byte = comm_seconds_per_byte
         self.name = name
 
+        #: Simulated-time backend: "event" (discrete-event engine, the
+        #: default) or "closed_form" (analytical fast mode, validated against
+        #: the engine to within 5%); see :meth:`configure_simulation`.
+        self.sim_backend = "event"
+        self.sim_engine: Optional[EventDrivenEngine] = EventDrivenEngine()
+        self.sim_workers = None
+        self.sim_policy = SchedulePolicy.VANILLA
+
         self.iteration = 0
         self.simulated_time = 0.0
         self.history = RunHistory(name=name, metric_name=task.metric_name,
@@ -126,7 +136,50 @@ class BaseTrainer:
         self.optimizer.step()
         return float(loss.item())
 
+    def configure_simulation(self, backend: str = "event", engine: Optional[EventDrivenEngine] = None,
+                             workers=None, policy: str = SchedulePolicy.VANILLA) -> None:
+        """Select how simulated iteration time is accounted.
+
+        ``backend="event"`` (the construction-time default) replays every
+        iteration through the discrete-event
+        :class:`~repro.sim.engine.EventDrivenEngine`, which prices per-GPU
+        compute and per-link communication events and therefore reflects
+        stragglers, heterogeneous GPU speeds and bucket serialization.
+        ``backend="closed_form"`` uses the analytical :class:`CostModel`
+        fast mode, validated against the engine to within 5% on single-job
+        configurations.
+        """
+        if backend not in ("closed_form", "event"):
+            raise ValueError(f"unknown simulation backend {backend!r}")
+        self.sim_backend = backend
+        self.sim_engine = engine or (EventDrivenEngine() if backend == "event" else None)
+        self.sim_workers = list(workers) if workers else None
+        if self.sim_workers is not None and len(self.sim_workers) > 1 and \
+                (self.sim_engine is None or self.sim_engine.allreduce is None):
+            # Without an all-reduce model every gradient bucket would be
+            # priced at zero and communication silently vanish from the
+            # simulated time — require a cluster-backed engine instead.
+            raise ValueError("multi-worker event simulation requires an engine built over a "
+                             "Cluster (EventDrivenEngine(cluster)) so communication can be priced")
+        self.sim_policy = policy
+
     def _account_iteration_time(self) -> None:
+        if self.sim_backend == "event":
+            # Multi-worker runs price communication through the engine's
+            # all-reduce model; single-worker runs reuse the trainer's linear
+            # per-byte coefficient so both backends stay comparable.
+            scalar_comm = self.comm_seconds_per_byte if self.sim_workers is None else None
+            result = self.sim_engine.simulate_iteration(
+                self.cost_model,
+                workers=self.sim_workers,
+                frozen_prefix=self.frozen_prefix(),
+                cached_fp=self.uses_cached_fp(),
+                policy=self.sim_policy,
+                include_reference_overhead=self.include_reference_overhead(),
+                comm_seconds_per_byte=scalar_comm,
+            )
+            self.simulated_time += result.total
+            return
         breakdown = self.cost_model.iteration(
             frozen_prefix=self.frozen_prefix(),
             cached_fp=self.uses_cached_fp(),
@@ -282,7 +335,14 @@ class EgeriaTrainer(BaseTrainer):
         unfroze = self.controller.observe_lr(lr, self.iteration, cyclical=cyclical)
         if unfroze:
             self.worker.restore_training_mode()
-            self.cache.set_prefix_version(self.cache.prefix_version + 1)
+            # A fresh generation (not prefix_version + 1, which could later
+            # collide with a legitimate frozen_prefix_length and alias stale
+            # pre-unfreeze activations as hits) unconditionally invalidates.
+            self.cache.prefix_version = 0
+            self.cache.new_generation()
+            # Stop recording/serving the old prefix tail: its modules are
+            # training again, so cached outputs would be stale immediately.
+            self._retarget_cache_recorder()
             self._num_frozen_seen = 0
 
     def on_iteration_end(self, batch, loss_value: float) -> None:

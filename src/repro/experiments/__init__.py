@@ -15,6 +15,7 @@ from .figures import (
     run_fig10_distributed,
     run_fig11_freezing_decisions,
     run_fig12_hyperparameters,
+    run_multijob_cluster,
     run_overhead_analysis,
     run_table1_tta,
     run_table2_reference_precision,
@@ -40,6 +41,7 @@ __all__ = [
     "run_fig8_end_to_end",
     "run_fig9_breakdown",
     "run_fig10_distributed",
+    "run_multijob_cluster",
     "run_fig11_freezing_decisions",
     "run_fig12_hyperparameters",
     "run_overhead_analysis",

@@ -15,6 +15,7 @@ Index
 * :func:`run_fig8_end_to_end`         — Figure 8 (accuracy curves vs baselines)
 * :func:`run_fig9_breakdown`          — Figure 9 (BP freezing vs FP caching)
 * :func:`run_fig10_distributed`       — Figure 10 (distributed throughput)
+* :func:`run_multijob_cluster`        — beyond-paper: multi-job cluster scenario
 * :func:`run_fig11_freezing_decisions`— Figure 11 (freeze/unfreeze timeline)
 * :func:`run_table2_reference_precision` — Table 2 (int8/fp16/fp32 reference)
 * :func:`run_fig12_hyperparameters`   — Figure 12 (sensitivity of n, W, T)
@@ -37,7 +38,17 @@ from ..core.hooks import ActivationRecorder
 from ..core.reference import ReferenceModel
 from ..metrics.tracking import RunHistory
 from ..quantization import PRECISIONS
-from ..sim import AllReduceModel, CostModel, SchedulePolicy, TimelineSimulator, paper_testbed_cluster, single_node_cluster
+from ..sim import (
+    AllReduceModel,
+    ClusterScheduler,
+    CostModel,
+    EventDrivenEngine,
+    SchedulePolicy,
+    SimJob,
+    TimelineSimulator,
+    paper_testbed_cluster,
+    single_node_cluster,
+)
 from .runners import ComparisonRow, compare_systems, run_trainer
 from .workloads import Workload, available_workloads, build_workload
 
@@ -49,6 +60,7 @@ __all__ = [
     "run_fig8_end_to_end",
     "run_fig9_breakdown",
     "run_fig10_distributed",
+    "run_multijob_cluster",
     "run_fig11_freezing_decisions",
     "run_table2_reference_precision",
     "run_fig12_hyperparameters",
@@ -284,13 +296,17 @@ def run_fig9_breakdown(workload_names: Optional[Sequence[str]] = None, scale: st
                        frozen_fraction: float = 0.4, seed: int = 0) -> List[Dict[str, float]]:
     """Iteration-time reduction from layer freezing alone vs freezing + FP caching.
 
-    Uses the analytical cost model with the first modules (up to
+    Drives the discrete-event engine with the first modules (up to
     ``frozen_fraction`` of parameters) frozen — the regime Egeria reaches in
     the later training stages — and reports normalised iteration times
-    (baseline = 1.0), mirroring the bar groups of Figure 9.
+    (baseline = 1.0), mirroring the bar groups of Figure 9.  Each row also
+    records the worst-case relative deviation of the closed-form
+    :class:`CostModel` fast path from the engine, the contract that keeps the
+    fast path trustworthy (asserted < 5% by the benchmark).
     """
     names = list(workload_names or ["resnet50_imagenet", "mobilenet_v2_cifar10",
                                     "transformer_base_wmt16", "bert_squad"])
+    engine = EventDrivenEngine()
     rows: List[Dict[str, float]] = []
     for name in names:
         workload = build_workload(name, scale=scale, seed=seed)
@@ -304,9 +320,17 @@ def run_fig9_breakdown(workload_names: Optional[Sequence[str]] = None, scale: st
                 break
             running += module.num_params
             prefix += 1
-        baseline = cost_model.iteration(0, False, include_reference_overhead=False).total
-        freeze_only = cost_model.iteration(prefix, False).total
-        freeze_cache = cost_model.iteration(prefix, True).total
+        baseline = engine.simulate_iteration(cost_model, frozen_prefix=0, cached_fp=False,
+                                             include_reference_overhead=False).total
+        freeze_only = engine.simulate_iteration(cost_model, frozen_prefix=prefix, cached_fp=False,
+                                                include_reference_overhead=True).total
+        freeze_cache = engine.simulate_iteration(cost_model, frozen_prefix=prefix, cached_fp=True,
+                                                 include_reference_overhead=True).total
+        deviation = max(
+            engine.closed_form_deviation(cost_model, 0, False, include_reference_overhead=False),
+            engine.closed_form_deviation(cost_model, prefix, False),
+            engine.closed_form_deviation(cost_model, prefix, True),
+        )
         rows.append({
             "workload": name,
             "frozen_modules": prefix,
@@ -314,6 +338,7 @@ def run_fig9_breakdown(workload_names: Optional[Sequence[str]] = None, scale: st
             "freezing_only": freeze_only / baseline if baseline else 1.0,
             "freezing_plus_caching": freeze_cache / baseline if baseline else 1.0,
             "fp_caching_extra_saving": (freeze_only - freeze_cache) / baseline if baseline else 0.0,
+            "closed_form_deviation": deviation,
         })
     return rows
 
@@ -336,13 +361,64 @@ def run_fig10_distributed(workload_name: str = "resnet50_imagenet", scale: str =
         running += module.num_params
         prefix += 1
     comparison = DistributedThroughputComparison(layer_modules, batch_size=workload.batch_size,
-                                                 cluster=paper_testbed_cluster())
+                                                 cluster=paper_testbed_cluster(), backend="event")
     rows = comparison.scaling_sweep(machine_counts, gpus_per_machine=2, frozen_prefix=prefix, cached_fp=True)
     return {
         "workload": workload_name,
         "frozen_prefix": prefix,
         "rows": rows,
         "policies": list(SchedulePolicy.ALL),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Beyond the paper — multi-job cluster scenario on the event-driven engine
+# --------------------------------------------------------------------------- #
+def run_multijob_cluster(workload_name: str = "resnet50_imagenet", scale: str = "tiny",
+                         iterations: int = 25, placement: str = "round_robin",
+                         straggler_gpu: str = "node0:gpu0", straggler_speed: float = 0.6,
+                         frozen_fraction: float = 0.4, seed: int = 0) -> Dict[str, object]:
+    """Several training jobs sharing the paper's testbed, with a straggler.
+
+    An Egeria job (frozen prefix + cached FP) and a vanilla job train
+    concurrently on the 5-machine cluster; a third job arrives immediately
+    but must queue until GPUs free up, and the vanilla job loses two workers
+    mid-run (elastic leave).  One GPU is a straggler, which gates every
+    all-reduce of the job placed on it.  Returns a plain-data dict that is
+    bit-for-bit deterministic for a fixed seed — the property the multi-job
+    benchmark asserts by running it twice.
+    """
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    layer_modules = parse_layer_modules(workload.make_model())
+    cost_model = CostModel(layer_modules, batch_size=workload.batch_size)
+    total_params = sum(m.num_params for m in layer_modules)
+    prefix, running = 0, 0
+    for module in layer_modules:
+        if running + module.num_params > total_params * frozen_fraction:
+            break
+        running += module.num_params
+        prefix += 1
+
+    cluster = paper_testbed_cluster()
+    scheduler = ClusterScheduler(cluster, placement=placement, seed=seed)
+    scheduler.set_gpu_speed(straggler_gpu, straggler_speed, at_time=0.0)
+    scheduler.submit(SimJob("egeria", cost_model, num_workers=4, iterations=iterations,
+                            policy=SchedulePolicy.EGERIA, frozen_prefix=prefix, cached_fp=True,
+                            include_reference_overhead=True))
+    scheduler.submit(SimJob("vanilla", cost_model, num_workers=4, iterations=iterations,
+                            policy=SchedulePolicy.VANILLA))
+    scheduler.submit(SimJob("queued", cost_model, num_workers=4, iterations=max(iterations // 2, 1),
+                            policy=SchedulePolicy.VANILLA))
+    # Elastic leave: the vanilla job gives up two workers partway through.
+    first_iteration = scheduler.engine.simulate_iteration(cost_model, workers=cluster.workers(2, 2)).total
+    scheduler.resize_job("vanilla", -2, at_time=first_iteration * (iterations // 2))
+    result = scheduler.run()
+    return {
+        "workload": workload_name,
+        "frozen_prefix": prefix,
+        "placement": placement,
+        "straggler": {"gpu": straggler_gpu, "speed": straggler_speed},
+        "result": result.as_dict(),
     }
 
 

@@ -1,14 +1,24 @@
-"""``repro.sim`` — analytical cost model, cluster topology and schedules.
+"""``repro.sim`` — cost models, cluster topology and cluster-level simulation.
 
-Substitutes the paper's GPU testbed: per-iteration forward/backward/
-synchronization times are derived from the model's layer-module structure,
-ring all-reduce over a leaf–spine cluster graph, and the scheduling policies
-compared in Figure 10.
+Substitutes the paper's GPU testbed.  Two simulation paths coexist:
+
+* the closed-form :class:`CostModel` / :class:`TimelineSimulator` — fast
+  analytical accounting for single homogeneous jobs (the default trainer
+  path), and
+* the discrete-event :class:`EventDrivenEngine` / :class:`ClusterScheduler`
+  — per-GPU compute events and per-link communication events over the
+  cluster graph, expressing stragglers, heterogeneous GPUs, multi-job
+  sharing and elastic worker membership.
+
+The closed-form path is validated against the engine to within 5% on the
+single-job configurations (see ``EventDrivenEngine.closed_form_deviation``).
 """
 
 from .allreduce import AllReduceModel
 from .cluster import Cluster, ClusterSpec, GPUDevice, Machine, paper_testbed_cluster, single_node_cluster
 from .cost_model import CostModel, GPUSpec, IterationBreakdown
+from .engine import EngineIterationResult, EventDrivenEngine, EventQueue, SimEvent
+from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
 
 __all__ = [
@@ -25,4 +35,12 @@ __all__ = [
     "SchedulePolicy",
     "IterationTimeline",
     "TimelineSimulator",
+    "EventDrivenEngine",
+    "EngineIterationResult",
+    "EventQueue",
+    "SimEvent",
+    "ClusterScheduler",
+    "SimJob",
+    "JobRecord",
+    "SchedulerResult",
 ]

@@ -1,0 +1,440 @@
+"""Discrete-event simulation of training iterations on a cluster.
+
+The closed-form :class:`~repro.sim.cost_model.CostModel` collapses an
+iteration into ``forward + backward + max(comm - backward, 0)``.  That is fast
+and adequate for a single homogeneous job, but it cannot express the
+cluster-level effects the paper's distributed results depend on: stragglers
+gating the all-reduce, heterogeneous GPU speeds, per-link serialization of
+gradient buckets, or ByteScheduler's overlap of leftover communication with
+the *next* iteration's forward pass.
+
+This module provides :class:`EventDrivenEngine`, a discrete-event simulator
+over :class:`~repro.sim.cluster.Cluster` resources:
+
+* **per-GPU compute events** — every layer module's forward/backward pass is
+  a timed segment on its worker's GPU; each GPU carries a speed factor so
+  stragglers and heterogeneous accelerators simply run their segments slower;
+* **per-link communication events** — each unfrozen module's gradient bucket
+  becomes ready when *all* workers finished that module's backward pass (the
+  slowest worker gates the collective), and buckets are serialized on the
+  ring whose cost comes from :class:`~repro.sim.allreduce.AllReduceModel`;
+* **overlap** — communication naturally overlaps the remaining backward
+  compute (buckets are transmitted while earlier layers still run BP,
+  ByteScheduler-style front-first priority optionally reorders them), and in
+  multi-iteration runs leftover communication can hide behind the next
+  iteration's forward pass under the ByteScheduler policies.
+
+The engine is deterministic: event ties are broken by insertion sequence and
+no randomness is used, so two runs with identical inputs produce identical
+timelines.  For single-job configurations without communication it reproduces
+the closed-form :class:`CostModel` totals exactly (see
+:meth:`EventDrivenEngine.closed_form_deviation`), which keeps the cheap
+closed-form path usable as a validated fast mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .allreduce import AllReduceModel
+from .cluster import Cluster, GPUDevice
+from .cost_model import CostModel
+from .timeline import SchedulePolicy
+
+__all__ = ["SimEvent", "EventQueue", "EngineIterationResult", "EventDrivenEngine"]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One timestamped occurrence inside the simulation."""
+
+    time: float
+    seq: int
+    kind: str
+    payload: Tuple
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"time": self.time, "seq": self.seq, "kind": self.kind, "payload": self.payload}
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence).
+
+    The insertion sequence makes simultaneous events pop in a deterministic
+    order, which in turn makes every simulation reproducible bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, Tuple]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Tuple = ()) -> None:
+        heapq.heappush(self._heap, (float(time), self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> SimEvent:
+        time, seq, kind, payload = heapq.heappop(self._heap)
+        return SimEvent(time, seq, kind, payload)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class EngineIterationResult:
+    """Timing decomposition of one simulated iteration.
+
+    ``forward``/``backward`` are the *nominal* (speed-factor-free) compute
+    sums, matching the closed-form breakdown; the wall-clock effect of slow
+    GPUs shows up in ``end_time`` and ``per_worker_compute_end``.
+    """
+
+    forward: float
+    backward: float
+    communication: float
+    exposed_communication: float
+    cache_overhead: float
+    reference_overhead: float
+    start_time: float
+    end_time: float
+    num_events: int
+    per_worker_compute_end: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def compute(self) -> float:
+        return self.forward + self.backward
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "forward": self.forward,
+            "backward": self.backward,
+            "communication": self.communication,
+            "exposed_communication": self.exposed_communication,
+            "cache_overhead": self.cache_overhead,
+            "reference_overhead": self.reference_overhead,
+            "total": self.total,
+        }
+
+
+#: A worker handed to the engine: either a topology-aware GPU device or a
+#: bare name (single-node simulations that need no cluster graph).
+WorkerLike = Union[GPUDevice, str]
+
+
+class EventDrivenEngine:
+    """Discrete-event simulator of training iterations over cluster resources.
+
+    Parameters
+    ----------
+    cluster:
+        Optional topology; required only when communication costs should be
+        derived from link bandwidths (multi-worker jobs).
+    allreduce:
+        Communication model used to price gradient buckets; built from
+        ``cluster`` when omitted.
+    comm_scale:
+        Multiplier on every bucket's transmission time — the scheduler uses it
+        to model bandwidth sharing between concurrent multi-machine jobs.
+    """
+
+    def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
+                 comm_scale: float = 1.0):
+        self.cluster = cluster
+        self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
+        self.comm_scale = comm_scale
+        #: Per-GPU relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
+        #: straggler whose compute segments take twice as long).
+        self.gpu_speed: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Scenario knobs
+    # ------------------------------------------------------------------ #
+    def set_gpu_speed(self, gpu_name: str, factor: float) -> None:
+        """Set a GPU's relative speed (straggler < 1.0 < fast heterogeneous GPU)."""
+        if factor <= 0:
+            raise ValueError(f"speed factor must be positive, got {factor}")
+        self.gpu_speed[str(gpu_name)] = float(factor)
+
+    def speed_factor(self, gpu_name: str) -> float:
+        return self.gpu_speed.get(str(gpu_name), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Segment construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _worker_names(workers: Optional[Sequence[WorkerLike]]) -> List[str]:
+        if not workers:
+            return ["gpu0"]
+        return [w.name if isinstance(w, GPUDevice) else str(w) for w in workers]
+
+    def _segments(self, cost_model: CostModel, frozen_prefix: int, cached_fp: bool,
+                  include_reference_overhead: bool) -> Tuple[List[Tuple[str, int, float]], float, float]:
+        """Nominal per-module compute segments of one iteration, in execution order.
+
+        Returns ``(segments, cache_overhead, reference_overhead)`` where each
+        segment is ``(phase, module_index, seconds)``.  The ordering mirrors
+        the closed-form accounting: reference-model overhead and cache
+        prefetch run before the forward pass, the backward pass runs last so
+        that gradient buckets only become available while BP is in flight.
+        """
+        modules = cost_model.layer_modules
+        frozen_prefix = max(0, min(frozen_prefix, len(modules)))
+        segments: List[Tuple[str, int, float]] = []
+
+        reference_overhead = 0.0
+        if include_reference_overhead:
+            baseline_compute = sum(cost_model.module_forward_time(m) * (1 + cost_model.gpu.bp_fp_ratio)
+                                   for m in modules)
+            reference_overhead = baseline_compute * cost_model.reference_overhead_fraction
+            segments.append(("reference", -1, reference_overhead))
+
+        cache_overhead = 0.0
+        if cached_fp and frozen_prefix > 0:
+            saved_forward = sum(cost_model.module_forward_time(m) for m in modules[:frozen_prefix])
+            cache_overhead = saved_forward * cost_model.cache_overhead_fraction
+            segments.append(("cache", -1, cache_overhead))
+
+        for index, module in enumerate(modules):
+            if index < frozen_prefix and cached_fp:
+                continue  # served from the activation cache
+            segments.append(("forward", index, cost_model.module_forward_time(module)))
+        for index in range(len(modules) - 1, frozen_prefix - 1, -1):
+            segments.append(("backward", index, cost_model.module_backward_time(modules[index])))
+        return segments, cache_overhead, reference_overhead
+
+    def _bucket_seconds(self, cost_model: CostModel, module_index: int,
+                        workers: Sequence[WorkerLike],
+                        comm_seconds_per_byte: Optional[float]) -> float:
+        """Transmission time of one module's gradient bucket."""
+        num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
+        if comm_seconds_per_byte is not None:
+            return num_bytes * comm_seconds_per_byte * self.comm_scale
+        if self.allreduce is None or len(workers) <= 1:
+            return 0.0
+        devices = [w for w in workers if isinstance(w, GPUDevice)]
+        if len(devices) != len(workers):
+            return 0.0
+        return self.allreduce.allreduce_seconds(num_bytes, list(devices)) * self.comm_scale
+
+    # ------------------------------------------------------------------ #
+    # Core event loop
+    # ------------------------------------------------------------------ #
+    def simulate_iteration(self, cost_model: CostModel, workers: Optional[Sequence[WorkerLike]] = None,
+                           frozen_prefix: int = 0, cached_fp: bool = False,
+                           policy: str = SchedulePolicy.VANILLA,
+                           include_reference_overhead: bool = False,
+                           comm_seconds_per_byte: Optional[float] = None,
+                           start_time: float = 0.0,
+                           trace: Optional[List[SimEvent]] = None) -> EngineIterationResult:
+        """Simulate one data-parallel iteration and return its timing breakdown.
+
+        Parameters
+        ----------
+        cost_model:
+            Supplies per-module compute times and gradient volumes.
+        workers:
+            GPU devices (or names) running the job; ``None`` means one
+            anonymous nominal-speed GPU.
+        policy:
+            One of :class:`SchedulePolicy`; the ByteScheduler policies send
+            front-module buckets first and may hide leftover communication
+            behind the next iteration's forward pass (see
+            :meth:`simulate_run`).
+        comm_seconds_per_byte:
+            Linear per-byte cost overriding the all-reduce model — the hook
+            the trainers use so the event path and the closed-form path price
+            communication identically.
+        """
+        if policy not in SchedulePolicy.ALL:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {SchedulePolicy.ALL}")
+        names = self._worker_names(workers)
+        worker_list = list(workers) if workers else list(names)
+        segments, cache_overhead, reference_overhead = self._segments(
+            cost_model, frozen_prefix, cached_fp, include_reference_overhead)
+        num_modules = len(cost_model.layer_modules)
+        frozen_prefix = max(0, min(frozen_prefix, num_modules))
+        bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
+
+        queue = EventQueue()
+        num_events = 0
+        compute_end = {name: start_time for name in names}
+        bucket_done_workers: Dict[int, int] = {}
+        pending_buckets: List[Tuple[float, int]] = []  # (priority, module_index)
+        ready_counter = 0
+        link_busy = False
+        comm_busy_total = 0.0
+        comm_end = start_time
+        last_backward_end = start_time
+
+        def record(event: SimEvent) -> None:
+            if trace is not None:
+                trace.append(event)
+
+        def start_segment(worker_pos: int, seg_index: int, now: float) -> None:
+            name = names[worker_pos]
+            phase, module_index, nominal = segments[seg_index]
+            duration = nominal / self.speed_factor(name)
+            queue.push(now + duration, "segment_done", (worker_pos, seg_index))
+
+        def start_next_bucket(now: float) -> None:
+            nonlocal link_busy
+            if link_busy or not pending_buckets:
+                return
+            pending_buckets.sort()
+            _priority, module_index = pending_buckets.pop(0)
+            duration = self._bucket_seconds(cost_model, module_index, worker_list, comm_seconds_per_byte)
+            link_busy = True
+            queue.push(now + duration, "comm_done", (module_index, duration))
+
+        for worker_pos in range(len(names)):
+            if segments:
+                start_segment(worker_pos, 0, start_time)
+
+        while queue:
+            event = queue.pop()
+            num_events += 1
+            record(event)
+            now = event.time
+            if event.kind == "segment_done":
+                worker_pos, seg_index = event.payload
+                name = names[worker_pos]
+                phase, module_index, _nominal = segments[seg_index]
+                compute_end[name] = now
+                if phase == "backward":
+                    last_backward_end = max(last_backward_end, now)
+                    done = bucket_done_workers.get(module_index, 0) + 1
+                    bucket_done_workers[module_index] = done
+                    if done == len(names):
+                        queue.push(now, "bucket_ready", (module_index,))
+                if seg_index + 1 < len(segments):
+                    start_segment(worker_pos, seg_index + 1, now)
+            elif event.kind == "bucket_ready":
+                (module_index,) = event.payload
+                # ByteScheduler transmits front (high-priority) modules first;
+                # the vanilla framework sends buckets in readiness order
+                # (back-to-front, as their backward passes complete).
+                priority = float(module_index) if bytescheduler else float(ready_counter)
+                ready_counter += 1
+                pending_buckets.append((priority, module_index))
+                start_next_bucket(now)
+            elif event.kind == "comm_done":
+                _module_index, duration = event.payload
+                link_busy = False
+                comm_busy_total += duration
+                comm_end = max(comm_end, now)
+                start_next_bucket(now)
+
+        compute_end_max = max(compute_end.values()) if compute_end else start_time
+        end_time = max(compute_end_max, comm_end)
+        forward = sum(sec for phase, _i, sec in segments if phase == "forward")
+        backward = sum(sec for phase, _i, sec in segments if phase == "backward")
+        exposed = max(comm_end - compute_end_max, 0.0)
+        return EngineIterationResult(
+            forward=forward,
+            backward=backward,
+            communication=comm_busy_total,
+            exposed_communication=exposed,
+            cache_overhead=cache_overhead,
+            reference_overhead=reference_overhead,
+            start_time=start_time,
+            end_time=end_time,
+            num_events=num_events,
+            per_worker_compute_end=dict(compute_end),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Multi-iteration runs and steady-state rates
+    # ------------------------------------------------------------------ #
+    def simulate_run(self, cost_model: CostModel, iterations: int,
+                     workers: Optional[Sequence[WorkerLike]] = None, frozen_prefix: int = 0,
+                     cached_fp: bool = False, policy: str = SchedulePolicy.VANILLA,
+                     include_reference_overhead: bool = False,
+                     comm_seconds_per_byte: Optional[float] = None,
+                     start_time: float = 0.0) -> List[EngineIterationResult]:
+        """Simulate back-to-back iterations, modelling cross-iteration overlap.
+
+        Under the vanilla policies the next iteration's forward pass starts
+        only after all gradients arrived (parameters must be up to date);
+        under the ByteScheduler policies leftover communication hides behind
+        the next iteration's forward pass, so the next iteration starts as
+        soon as compute finishes and only communication still exposed after
+        the forward window delays the backward pass.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
+        results: List[EngineIterationResult] = []
+        clock = start_time
+        for _ in range(iterations):
+            result = self.simulate_iteration(
+                cost_model, workers=workers, frozen_prefix=frozen_prefix, cached_fp=cached_fp,
+                policy=policy, include_reference_overhead=include_reference_overhead,
+                comm_seconds_per_byte=comm_seconds_per_byte, start_time=clock)
+            if bytescheduler:
+                # Priority scheduling hides this iteration's exposed residual
+                # behind the next iteration's forward window; only what spills
+                # past that window delays the loop.
+                compute_span = (max(result.per_worker_compute_end.values()) - clock
+                                if result.per_worker_compute_end else result.total)
+                forward_window = result.forward + result.cache_overhead + result.reference_overhead
+                residual = max(result.exposed_communication - forward_window, 0.0)
+                clock = clock + compute_span + residual
+                results.append(EngineIterationResult(
+                    forward=result.forward, backward=result.backward,
+                    communication=result.communication,
+                    exposed_communication=residual,
+                    cache_overhead=result.cache_overhead,
+                    reference_overhead=result.reference_overhead,
+                    start_time=result.start_time, end_time=clock,
+                    num_events=result.num_events,
+                    per_worker_compute_end=result.per_worker_compute_end,
+                ))
+            else:
+                clock = result.end_time
+                results.append(result)
+        return results
+
+    def steady_iteration_seconds(self, cost_model: CostModel, workers: Optional[Sequence[WorkerLike]] = None,
+                                 frozen_prefix: int = 0, cached_fp: bool = False,
+                                 policy: str = SchedulePolicy.VANILLA,
+                                 include_reference_overhead: bool = False,
+                                 comm_seconds_per_byte: Optional[float] = None,
+                                 warmup: int = 1, measured: int = 3) -> float:
+        """Steady-state per-iteration time (drops ``warmup`` iterations)."""
+        results = self.simulate_run(cost_model, warmup + measured, workers=workers,
+                                    frozen_prefix=frozen_prefix, cached_fp=cached_fp, policy=policy,
+                                    include_reference_overhead=include_reference_overhead,
+                                    comm_seconds_per_byte=comm_seconds_per_byte)
+        first = results[warmup - 1].end_time if warmup > 0 else results[0].start_time
+        return (results[-1].end_time - first) / measured
+
+    # ------------------------------------------------------------------ #
+    # Validation against the closed-form fast path
+    # ------------------------------------------------------------------ #
+    def closed_form_deviation(self, cost_model: CostModel, frozen_prefix: int = 0,
+                              cached_fp: bool = False, include_reference_overhead: bool = True,
+                              comm_seconds_per_byte: float = 0.0) -> float:
+        """Relative |engine - closed form| / closed form for a single-job iteration.
+
+        This is the contract that keeps the closed-form path usable as a fast
+        mode: the benchmarks assert the deviation stays within 5% on the
+        Figure 9 configurations.
+        """
+        closed = cost_model.iteration(frozen_prefix=frozen_prefix, cached_fp=cached_fp,
+                                      comm_seconds_per_byte=comm_seconds_per_byte,
+                                      include_reference_overhead=include_reference_overhead).total
+        event = self.simulate_iteration(cost_model, frozen_prefix=frozen_prefix, cached_fp=cached_fp,
+                                        include_reference_overhead=include_reference_overhead,
+                                        comm_seconds_per_byte=comm_seconds_per_byte).total
+        if closed == 0.0:
+            return 0.0 if event == 0.0 else float("inf")
+        return abs(event - closed) / closed

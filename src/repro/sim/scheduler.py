@@ -1,0 +1,375 @@
+"""Multi-job cluster scheduling on top of the event-driven engine.
+
+The paper evaluates Egeria one job at a time, but its cluster-level claims
+(reduced gradient traffic, tolerance to communication bottlenecks) only
+matter when several training jobs share machines and links.  This module adds
+that layer: a :class:`ClusterScheduler` places :class:`SimJob` s onto the
+:class:`~repro.sim.cluster.Cluster`'s GPUs and advances them iteration by
+iteration through the :class:`~repro.sim.engine.EventDrivenEngine`, so
+scenarios the closed-form model cannot express become one-liners:
+
+* **FIFO / round-robin placement** — jobs queue until enough GPUs are free;
+  ``placement="fifo"`` packs a job onto the first free GPUs in machine order
+  (locality), ``"round_robin"`` spreads its workers across machines (load
+  balancing, at the price of crossing the NICs).
+* **Stragglers and heterogeneous GPUs** — :meth:`set_gpu_speed` (optionally
+  at a future time) slows or speeds individual GPUs; the engine then gates
+  every all-reduce on the slowest worker.
+* **Elastic jobs** — :meth:`resize_job` adds or removes workers at a given
+  time; subsequent iterations use the new all-reduce group and batch volume.
+* **Network contention** — while more than one multi-machine job is running,
+  every job's communication is scaled by the number of such jobs (the shared
+  leaf–spine fabric is modelled as fair-shared).
+
+Everything is deterministic for a fixed seed: the event heap breaks ties by
+insertion order and the only randomness (optional placement jitter) comes
+from a seeded generator, so two runs with the same inputs produce identical
+:class:`SchedulerResult` s — the property the multi-job benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cluster import Cluster, GPUDevice
+from .cost_model import CostModel
+from .engine import EventDrivenEngine
+from .timeline import SchedulePolicy
+
+__all__ = ["SimJob", "JobRecord", "SchedulerResult", "ClusterScheduler"]
+
+
+@dataclass
+class SimJob:
+    """One training job submitted to the cluster.
+
+    ``frozen_prefix`` may be an int (constant) or a callable mapping the
+    iteration index to a prefix length, so an Egeria job's progressive
+    freezing schedule can be replayed inside the simulation.
+    """
+
+    name: str
+    cost_model: CostModel
+    num_workers: int = 1
+    iterations: int = 1
+    policy: str = SchedulePolicy.VANILLA
+    frozen_prefix: Union[int, Callable[[int], int]] = 0
+    cached_fp: bool = False
+    include_reference_overhead: bool = False
+    arrival_time: float = 0.0
+
+    def prefix_at(self, iteration: int) -> int:
+        if callable(self.frozen_prefix):
+            return int(self.frozen_prefix(iteration))
+        return int(self.frozen_prefix)
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle and per-iteration timing of one job."""
+
+    name: str
+    arrival_time: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    iterations_done: int = 0
+    worker_names: List[str] = field(default_factory=list)
+    iteration_seconds: List[float] = field(default_factory=list)
+    samples_processed: float = 0.0
+
+    @property
+    def queueing_delay(self) -> Optional[float]:
+        return None if self.start_time is None else self.start_time - self.arrival_time
+
+    @property
+    def completion_seconds(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    def throughput(self) -> float:
+        """Mean samples/second over the job's placed lifetime."""
+        if self.start_time is None or self.finish_time is None or self.finish_time <= self.start_time:
+            return 0.0
+        return self.samples_processed / (self.finish_time - self.start_time)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "arrival_time": self.arrival_time,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "iterations_done": self.iterations_done,
+            "worker_names": list(self.worker_names),
+            "queueing_delay": self.queueing_delay,
+            "samples_processed": self.samples_processed,
+            "throughput": self.throughput(),
+            "mean_iteration_seconds": (sum(self.iteration_seconds) / len(self.iteration_seconds)
+                                       if self.iteration_seconds else 0.0),
+        }
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of a :meth:`ClusterScheduler.run`."""
+
+    makespan: float
+    jobs: Dict[str, JobRecord]
+    gpu_busy_seconds: Dict[str, float]
+    trace: List[Dict[str, object]]
+
+    def utilization(self) -> Dict[str, float]:
+        if self.makespan <= 0:
+            return {name: 0.0 for name in self.gpu_busy_seconds}
+        return {name: busy / self.makespan for name, busy in self.gpu_busy_seconds.items()}
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic plain-data view (what the benchmarks compare across runs)."""
+        return {
+            "makespan": self.makespan,
+            "jobs": {name: record.as_dict() for name, record in sorted(self.jobs.items())},
+            "utilization": dict(sorted(self.utilization().items())),
+        }
+
+
+class ClusterScheduler:
+    """Places jobs on a cluster and advances them through the event engine.
+
+    Parameters
+    ----------
+    cluster:
+        The shared cluster whose GPUs and links the jobs compete for.
+    engine:
+        Event-driven engine; one is built over ``cluster`` when omitted.
+    placement:
+        ``"fifo"`` packs workers onto the first free GPUs in machine order;
+        ``"round_robin"`` takes one free GPU per machine, cycling.  Job
+        admission is strictly FIFO in both cases.
+    seed:
+        Seeds the (currently jitter-free) generator; kept so future stochastic
+        knobs stay reproducible.
+    """
+
+    PLACEMENTS = ("fifo", "round_robin")
+
+    def __init__(self, cluster: Cluster, engine: Optional[EventDrivenEngine] = None,
+                 placement: str = "fifo", seed: int = 0):
+        if placement not in self.PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}; expected one of {self.PLACEMENTS}")
+        self.cluster = cluster
+        self.engine = engine or EventDrivenEngine(cluster)
+        self.placement = placement
+        self.seed = seed
+
+        self._all_gpus: List[GPUDevice] = cluster.all_gpus()
+        self._free: Dict[str, GPUDevice] = {gpu.name: gpu for gpu in self._all_gpus}
+        self._jobs: Dict[str, SimJob] = {}
+        self._allocations: Dict[str, List[GPUDevice]] = {}
+        self._pending: List[str] = []
+        self._heap: List[Tuple[float, int, str, Tuple]] = []
+        self._seq = 0
+        #: Per-job schedule token; an iteration_done event is only honoured
+        #: when its token matches, which drops in-flight iterations that a
+        #: resize invalidated and restarted.
+        self._iter_token: Dict[str, int] = {}
+        self.records: Dict[str, JobRecord] = {}
+        self.gpu_busy_seconds: Dict[str, float] = {gpu.name: 0.0 for gpu in self._all_gpus}
+        self.trace: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # Submission and scenario knobs
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: str, payload: Tuple = ()) -> None:
+        heapq.heappush(self._heap, (float(time), self._seq, kind, payload))
+        self._seq += 1
+
+    def submit(self, job: SimJob) -> None:
+        if job.name in self._jobs:
+            raise ValueError(f"duplicate job name {job.name!r}")
+        if job.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if job.num_workers > len(self._all_gpus):
+            raise ValueError(f"job {job.name!r} wants {job.num_workers} workers but the cluster "
+                             f"has only {len(self._all_gpus)} GPUs")
+        self._jobs[job.name] = job
+        self.records[job.name] = JobRecord(name=job.name, arrival_time=job.arrival_time)
+        self._push(job.arrival_time, "arrival", (job.name,))
+
+    def set_gpu_speed(self, gpu_name: str, factor: float, at_time: float = 0.0) -> None:
+        """Straggler / heterogeneous-GPU knob, applied at ``at_time``."""
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self._push(at_time, "set_speed", (str(gpu_name), float(factor)))
+
+    def resize_job(self, job_name: str, delta_workers: int, at_time: float) -> None:
+        """Elastic worker join (+) / leave (-) at ``at_time``."""
+        if delta_workers == 0:
+            raise ValueError("delta_workers must be non-zero")
+        self._push(at_time, "resize", (str(job_name), int(delta_workers)))
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def _pick_gpus(self, count: int) -> Optional[List[GPUDevice]]:
+        """Choose ``count`` free GPUs under the configured placement, or None."""
+        if count > len(self._free):
+            return None
+        if self.placement == "fifo":
+            chosen = [gpu for gpu in self._all_gpus if gpu.name in self._free][:count]
+            return chosen if len(chosen) == count else None
+        # round_robin: one free GPU per machine, cycling over machines.
+        by_machine: Dict[str, List[GPUDevice]] = {}
+        for gpu in self._all_gpus:
+            if gpu.name in self._free:
+                by_machine.setdefault(gpu.machine, []).append(gpu)
+        chosen: List[GPUDevice] = []
+        machine_order = [m.name for m in self.cluster.machines if m.name in by_machine]
+        while len(chosen) < count and machine_order:
+            for machine in list(machine_order):
+                pool = by_machine[machine]
+                chosen.append(pool.pop(0))
+                if not pool:
+                    machine_order.remove(machine)
+                if len(chosen) == count:
+                    break
+        return chosen if len(chosen) == count else None
+
+    def _try_place(self, now: float) -> None:
+        """Strict-FIFO admission: place queued jobs head-first while GPUs last."""
+        while self._pending:
+            job = self._jobs[self._pending[0]]
+            gpus = self._pick_gpus(job.num_workers)
+            if gpus is None:
+                return
+            self._pending.pop(0)
+            for gpu in gpus:
+                del self._free[gpu.name]
+            self._allocations[job.name] = gpus
+            record = self.records[job.name]
+            record.start_time = now
+            record.worker_names = [gpu.name for gpu in gpus]
+            self._trace(now, "job_start", job=job.name, workers=record.worker_names)
+            self._schedule_iteration(job, now)
+
+    def _release(self, job_name: str, gpus: Sequence[GPUDevice], now: float) -> None:
+        for gpu in gpus:
+            self._free[gpu.name] = gpu
+        self._trace(now, "gpus_released", job=job_name, workers=[g.name for g in gpus])
+
+    # ------------------------------------------------------------------ #
+    # Iteration advancement
+    # ------------------------------------------------------------------ #
+    def _multi_machine_jobs_running(self) -> int:
+        count = 0
+        for name, gpus in self._allocations.items():
+            if len({gpu.machine for gpu in gpus}) > 1:
+                count += 1
+        return count
+
+    def _schedule_iteration(self, job: SimJob, now: float) -> None:
+        record = self.records[job.name]
+        workers = self._allocations[job.name]
+        # Fair-share the fabric between concurrent multi-machine jobs.  A job
+        # confined to one machine never touches the leaf-spine links, so its
+        # (intra-machine) communication is not scaled.
+        spans_machines = len({gpu.machine for gpu in workers}) > 1
+        contenders = max(self._multi_machine_jobs_running(), 1) if spans_machines else 1
+        self.engine.comm_scale = float(contenders)
+        try:
+            result = self.engine.simulate_iteration(
+                job.cost_model, workers=workers, frozen_prefix=job.prefix_at(record.iterations_done),
+                cached_fp=job.cached_fp, policy=job.policy,
+                include_reference_overhead=job.include_reference_overhead, start_time=now)
+        finally:
+            self.engine.comm_scale = 1.0
+        duration = result.total
+        token = self._iter_token.get(job.name, 0) + 1
+        self._iter_token[job.name] = token
+        self._push(now + duration, "iteration_done", (job.name, token, duration))
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def _trace(self, time: float, kind: str, **payload: object) -> None:
+        entry: Dict[str, object] = {"time": time, "kind": kind}
+        entry.update(payload)
+        self.trace.append(entry)
+
+    def run(self) -> SchedulerResult:
+        """Drain all events; returns per-job records, utilization and trace."""
+        makespan = 0.0
+        while self._heap:
+            now, _seq, kind, payload = heapq.heappop(self._heap)
+            if kind in ("arrival", "iteration_done"):
+                # Knob events (set_speed/resize) may be timestamped past the
+                # last completed work; they do not extend the makespan.
+                makespan = max(makespan, now)
+            if kind == "arrival":
+                (job_name,) = payload
+                self._pending.append(job_name)
+                self._trace(now, "arrival", job=job_name)
+                self._try_place(now)
+            elif kind == "iteration_done":
+                job_name, token, duration = payload
+                job = self._jobs[job_name]
+                record = self.records[job_name]
+                if token != self._iter_token.get(job_name) or job_name not in self._allocations:
+                    continue  # stale event from before a resize/finish
+                record.iterations_done += 1
+                record.iteration_seconds.append(duration)
+                workers = self._allocations[job_name]
+                record.samples_processed += job.cost_model.batch_size * len(workers)
+                for gpu in workers:
+                    self.gpu_busy_seconds[gpu.name] += duration
+                if record.iterations_done >= job.iterations:
+                    record.finish_time = now
+                    self._release(job_name, self._allocations.pop(job_name), now)
+                    self._trace(now, "job_finish", job=job_name)
+                    self._try_place(now)
+                else:
+                    self._schedule_iteration(job, now)
+            elif kind == "set_speed":
+                gpu_name, factor = payload
+                self.engine.set_gpu_speed(gpu_name, factor)
+                self._trace(now, "set_speed", gpu=gpu_name, factor=factor)
+            elif kind == "resize":
+                job_name, delta = payload
+                self._apply_resize(job_name, delta, now)
+        return SchedulerResult(makespan=makespan, jobs=dict(self.records),
+                               gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace))
+
+    def _apply_resize(self, job_name: str, delta: int, now: float) -> None:
+        record = self.records.get(job_name)
+        if record is None or job_name not in self._allocations:
+            self._trace(now, "resize_ignored", job=job_name, delta=delta)
+            return
+        workers = self._allocations[job_name]
+        changed = False
+        if delta < 0:
+            releasable = min(-delta, len(workers) - 1)  # keep at least one worker
+            released = [workers.pop() for _ in range(releasable)]
+            if released:
+                changed = True
+                self._release(job_name, released, now)
+            self._trace(now, "resize", job=job_name, delta=-releasable,
+                        workers=[gpu.name for gpu in workers])
+            if released:
+                self._try_place(now)
+        else:
+            added = self._pick_gpus(min(delta, len(self._free)))
+            if added:
+                changed = True
+                for gpu in added:
+                    del self._free[gpu.name]
+                workers.extend(added)
+            self._trace(now, "resize", job=job_name, delta=len(added or []),
+                        workers=[gpu.name for gpu in workers])
+        if not changed:
+            return  # no-op resize: leave the in-flight iteration untouched
+        record.worker_names = [gpu.name for gpu in workers]
+        # The in-flight iteration (scheduled with the old worker set) is
+        # invalidated; restart it under the new configuration.  Bumping the
+        # schedule token in _schedule_iteration drops the stale event.
+        self._schedule_iteration(self._jobs[job_name], now)

@@ -62,6 +62,29 @@ class TestPWCCA:
         with pytest.raises(ValueError):
             pwcca_distance(rng.standard_normal((8, 4)), rng.standard_normal((9, 4)))
 
+    def test_rank_deficient_self_distance_zero(self, rng):
+        # Rank-2 activations embedded in 10 dimensions: the SVD reduction
+        # keeps fewer directions than the ambient dimensionality.
+        basis = rng.standard_normal((20, 2)).astype(np.float64)
+        mixing = rng.standard_normal((2, 10)).astype(np.float64)
+        x = basis @ mixing
+        assert pwcca_distance(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+        assert pwcca_similarity(x, x.copy()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_truncated_weights_are_renormalized(self, rng):
+        # y spans fewer directions than x, so the canonical correlations are
+        # truncated below x's direction count; the projection weights must be
+        # renormalized over the kept directions (summing to 1), otherwise the
+        # similarity is deflated by exactly the dropped weight mass.
+        x = rng.standard_normal((40, 12)).astype(np.float64)
+        y = (x[:, :3] @ rng.standard_normal((3, 12))).astype(np.float64)  # rank-3 view of x
+        similarity = pwcca_similarity(x, y)
+        assert 0.0 <= similarity <= 1.0
+        # y is a deterministic linear function of x's first directions: the
+        # kept canonical correlations are ~1, so the renormalized projection
+        # weighting must report near-perfect similarity.
+        assert similarity > 0.95
+
 
 class TestSVCCA:
     def test_truncate_to_variance(self, rng):

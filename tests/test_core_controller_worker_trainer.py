@@ -250,3 +250,64 @@ class TestEgeriaTrainer:
         assert trainer.cache.stats.stores == 0
         assert not trainer.uses_cached_fp()
         trainer.close()
+
+    def test_no_stale_cache_hits_across_unfreeze_refreeze(self, tmp_path):
+        """Regression: freeze -> unfreeze -> refreeze must never serve stale hits.
+
+        The old code versioned the cache with ``prefix_version + 1`` after an
+        unfreeze and left the activation recorder hooked, so (a) the
+        still-training prefix kept populating the cache and (b) a later
+        refreeze whose prefix length collided with that version served the
+        stale pre-refreeze activations as hits.
+        """
+        trainer = self._build(tmp_path)
+        trainer.stage = EgeriaTrainer.KNOWLEDGE_GUIDED
+        trainer.controller.initialize_reference(trainer.model, 0)
+        engine = trainer.engine
+        act = np.zeros((4, 8), dtype=np.float32)
+
+        # Freeze the first two modules through Algorithm 1's fast path.
+        engine.observe_lr(0.1, iteration=0)
+        for it in (1, 3):
+            engine.stale_counter = engine.window
+            engine.check_plasticity(act, act, iteration=it)
+        assert engine.frozen_prefix_length() == 2
+
+        loader = trainer.train_loader
+        loader.set_epoch(0)
+        batch = loader.next_batch()
+        trainer.iteration = 3  # odd: skips the periodic evaluation submission
+        trainer.on_iteration_end(batch, loss_value=1.0)  # syncs version + recorder
+        trainer.task.forward(trainer.model, batch)       # fills the recorder hook
+        trainer.on_iteration_end(batch, loss_value=1.0)  # stores the batch
+        stores_before_unfreeze = trainer.cache.stats.stores
+        assert stores_before_unfreeze > 0
+        trainer.task.forward(trainer.model, batch)
+        trainer.on_iteration_end(batch, loss_value=1.0)  # legitimate full hit
+        assert trainer.fp_skipped_iterations == 1
+
+        # 10x LR drop -> the real epoch hook unfreezes everything.
+        trainer.on_epoch_start(epoch=1, lr=0.01)
+        assert engine.num_frozen() == 0
+        # The recorder must be gone: the prefix trains again, so recording
+        # (and serving) its tail would be stale immediately.
+        assert trainer._cache_recorder is None
+        trainer.task.forward(trainer.model, batch)
+        trainer.on_iteration_end(batch, loss_value=1.0)
+        assert trainer.cache.stats.stores == stores_before_unfreeze  # no post-unfreeze stores
+
+        # Refreeze three modules in one burst (several queued evaluation
+        # results can land in a single on_iteration_end), colliding with the
+        # old version counter (2 + 1 == 3 == new frozen_prefix_length).
+        engine.observe_lr(0.01, iteration=9)
+        for it in (11, 13, 15):
+            engine.stale_counter = engine.window
+            engine.check_plasticity(act, act, iteration=it)
+        assert engine.frozen_prefix_length() == 3
+        trainer.iteration = 15
+        trainer.on_iteration_end(batch, loss_value=1.0)
+        # Nothing stored since the refreeze may be served; the pre-unfreeze
+        # activations (different prefix, different weights) must all miss.
+        assert trainer.cache.load_batch(batch.indices) is None
+        assert trainer.fp_skipped_iterations == 1
+        trainer.close()

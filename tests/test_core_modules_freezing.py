@@ -184,6 +184,73 @@ class TestFreezingEngine:
             FreezingEngine([], EgeriaConfig())
 
 
+class TestUnfreezeRefreezeCycle:
+    """Coverage of the full unfreeze -> refreeze life cycle (§4.2.2)."""
+
+    def test_window_halves_on_each_unfreeze(self, tiny_layer_modules):
+        engine = converged_engine(tiny_layer_modules, window=4)
+        engine.observe_lr(0.1, iteration=0)
+        feed_stationary(engine, iterations=30)
+        assert engine.num_frozen() > 0
+        engine.observe_lr(0.01, iteration=40)          # 10x drop -> unfreeze
+        assert engine.window == 2                       # 4 * 0.5
+        feed_stationary(engine, iterations=30, start=41)
+        engine.observe_lr(0.001, iteration=80)          # second unfreeze
+        assert engine.window == 1                       # halved again
+        # The window never collapses below one evaluation.
+        feed_stationary(engine, iterations=10, start=81)
+        engine.observe_lr(0.0001, iteration=100)
+        assert engine.window == 1
+
+    def test_trackers_adopt_halved_window(self, tiny_layer_modules):
+        engine = converged_engine(tiny_layer_modules, window=4)
+        engine.observe_lr(0.1, iteration=0)
+        feed_stationary(engine, iterations=30)
+        engine.observe_lr(0.01, iteration=40)
+        assert all(tracker.window == engine.window for tracker in engine.trackers.values())
+
+    def test_refreeze_events_labelled_refreeze(self, tiny_layer_modules):
+        engine = converged_engine(tiny_layer_modules, window=2)
+        engine.observe_lr(0.1, iteration=0)
+        feed_stationary(engine, iterations=20)
+        first_cycle = [e.action for e in engine.events]
+        assert set(first_cycle) == {"freeze"}           # first cycle: plain freezes
+        engine.observe_lr(0.01, iteration=30)
+        feed_stationary(engine, iterations=20, start=31)
+        actions = [e.action for e in engine.events]
+        assert "unfreeze" in actions
+        # Every post-unfreeze freezing decision is labelled "refreeze".
+        post_unfreeze = actions[actions.index("unfreeze") + 1:]
+        assert post_unfreeze and set(post_unfreeze) == {"refreeze"}
+        # Refreezing restarts from the front module.
+        refreeze_events = [e for e in engine.events if e.action == "refreeze"]
+        assert refreeze_events[0].module_index == 0
+
+    def test_tolerance_retained_across_reset_history(self, tiny_layer_modules):
+        engine = converged_engine(tiny_layer_modules, window=2)
+        engine.observe_lr(0.1, iteration=0)
+        feed_stationary(engine, iterations=20)
+        tolerances = {index: tracker.tolerance for index, tracker in engine.trackers.items()
+                      if tracker.tolerance is not None}
+        assert tolerances                                # calibration happened
+        engine.observe_lr(0.01, iteration=30)            # unfreeze resets histories
+        for index, tracker in engine.trackers.items():
+            assert len(tracker) == 0                     # history cleared ...
+            if index in tolerances:
+                assert tracker.tolerance == tolerances[index]  # ... tolerance kept
+        # With T retained, stationary readings refreeze without recalibration.
+        feed_stationary(engine, iterations=10, start=31)
+        assert engine.num_frozen() > 0
+
+    def test_reset_history_can_drop_tolerance(self, tiny_layer_modules):
+        engine = converged_engine(tiny_layer_modules, window=2)
+        feed_stationary(engine, iterations=10)
+        tracker = next(t for t in engine.trackers.values() if t.tolerance is not None)
+        tracker.reset_history(keep_tolerance=False)
+        assert tracker.tolerance is None
+        assert len(tracker) == 0
+
+
 class TestEgeriaConfig:
     def test_validation(self):
         with pytest.raises(ValueError):

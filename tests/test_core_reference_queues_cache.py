@@ -163,6 +163,65 @@ class TestActivationCache:
         assert cache.store(0, activation)
         assert not cache.store(1, activation)
 
+    def test_restore_same_sample_does_not_double_count_disk_bytes(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        activation = rng.standard_normal(50).astype(np.float32)
+        assert cache.store(0, activation)
+        assert cache.store(0, activation + 1.0)  # overwrite, same version
+        assert cache.disk_bytes == activation.nbytes
+        assert cache.storage_ratio(input_bytes_per_sample=activation.nbytes) == pytest.approx(1.0)
+        # The overwritten content is what loads serve.
+        assert np.allclose(cache.load(0), activation + 1.0)
+
+    def test_restore_within_budget_replaces_instead_of_rejecting(self, tmp_path, rng):
+        activation = rng.standard_normal(100).astype(np.float32)
+        cache = ActivationCache(cache_dir=str(tmp_path), max_disk_bytes=activation.nbytes)
+        assert cache.store(0, activation)
+        # Re-storing the same sample replaces its bytes: still within budget.
+        assert cache.store(0, activation * 2.0)
+        assert cache.disk_bytes == activation.nbytes
+        # A genuinely larger replacement that would blow the budget is rejected.
+        assert not cache.store(0, rng.standard_normal(200).astype(np.float32))
+
+    def test_restore_refreshes_in_memory_copy(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        first = rng.standard_normal(8).astype(np.float32)
+        cache.store(0, first)
+        cache.load(0)  # pulls the entry into the in-memory table
+        updated = first * 3.0
+        cache.store(0, updated)
+        assert np.allclose(cache.load(0), updated)
+
+    def test_generation_monotonic_and_unconditional(self, tmp_path, rng):
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        g0 = cache.generation
+        cache.set_prefix_version(2)
+        assert cache.generation == g0 + 1
+        cache.set_prefix_version(2)  # unchanged prefix: no new generation
+        assert cache.generation == g0 + 1
+        g = cache.new_generation()   # unfreeze path: bumps even without a prefix change
+        assert g == g0 + 2
+        assert cache.generation == g0 + 2
+
+    def test_refreeze_to_same_prefix_never_aliases(self, tmp_path, rng):
+        """Freeze -> unfreeze -> refreeze to the same length must miss.
+
+        Reproduces the aliasing hazard: entries written while the prefix
+        version is numerically identical to a later ``frozen_prefix_length``
+        must not survive the unfreeze in between.
+        """
+        cache = ActivationCache(cache_dir=str(tmp_path))
+        cache.set_prefix_version(1)
+        cache.set_prefix_version(2)          # prefix grows to 2
+        stale = rng.standard_normal(6).astype(np.float32)
+        cache.store(7, stale)
+        cache.prefix_version = 0
+        cache.new_generation()               # unfreeze: unconditional invalidation
+        cache.store(7, stale + 1.0)          # entries written while unfrozen-era
+        cache.set_prefix_version(2)          # refreeze straight back to length 2
+        assert cache.load(7) is None         # nothing stale served
+        assert cache.disk_bytes == 0
+
     def test_storage_ratio(self, tmp_path, rng):
         cache = ActivationCache(cache_dir=str(tmp_path))
         cache.store(0, rng.standard_normal((8, 8)).astype(np.float32))
