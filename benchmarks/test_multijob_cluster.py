@@ -8,9 +8,10 @@ runs with the same seed — the contract that makes the simulated cluster
 results reproducible.
 """
 
+import numpy as np
 from conftest import print_rows
 
-from repro.experiments import run_multijob_cluster
+from repro.experiments import run_freezing_replay, run_multijob_cluster
 
 
 def test_multijob_cluster_deterministic_and_sane(benchmark, scale):
@@ -48,3 +49,38 @@ def test_multijob_cluster_deterministic_and_sane(benchmark, scale):
     # The makespan covers every job's finish time.
     makespan = result["result"]["makespan"]
     assert all(job["finish_time"] <= makespan + 1e-12 for job in jobs.values())
+
+
+def test_freezing_timeline_replay_shortens_iterations(benchmark, scale):
+    """Replay a real Egeria freezing timeline through ``SimJob.frozen_prefix``.
+
+    The trainer's freeze/unfreeze events become an ``iteration -> prefix``
+    callable fed to the cluster simulator, so the simulated job's iteration
+    time drops mid-run exactly when the real run froze modules.
+    """
+    data = benchmark.pedantic(lambda: run_freezing_replay(scale=scale, seed=0),
+                              rounds=1, iterations=1)
+    prefix_series = data["prefix_series"]
+    iteration_seconds = data["iteration_seconds"]
+    print_rows("Egeria freezing-timeline replay (first/last phase means)", [{
+        "total_iterations": data["total_iterations"],
+        "freeze_events": data["num_freeze_events"],
+        "max_prefix": max(prefix_series),
+        "first_iteration_seconds": iteration_seconds[0],
+        "last_iteration_seconds": iteration_seconds[-1],
+        "makespan": data["makespan"],
+    }])
+
+    assert data["num_freeze_events"] > 0, "the Egeria run never froze a module"
+    assert max(prefix_series) > 0
+    assert len(iteration_seconds) == data["total_iterations"]
+
+    # Iterations executed at a deeper frozen prefix must be faster than the
+    # unfrozen ones — the frozen-prefix progression shortens simulated
+    # iterations mid-run.
+    unfrozen = [s for s, p in zip(iteration_seconds, prefix_series) if p == 0]
+    deepest = max(prefix_series)
+    frozen = [s for s, p in zip(iteration_seconds, prefix_series) if p == deepest]
+    assert unfrozen and frozen
+    assert float(np.mean(frozen)) < float(np.mean(unfrozen))
+    assert min(frozen) < min(unfrozen)

@@ -8,7 +8,7 @@ prints the paper-vs-measured rows recorded in EXPERIMENTS.md.
 
 from conftest import print_rows
 
-from repro.experiments import available_workloads, run_table1_tta
+from repro.experiments import available_workloads, build_workload, run_table1_tta, run_trainer
 
 #: CV workloads show the clearest speedups at tiny scale; the NLP workloads
 #: are included for structure/accuracy verification and run with the rest.
@@ -40,6 +40,41 @@ def test_table1_tta_speedup(benchmark, scale):
     cnn_rows = [row for row in rows if row["workload"].startswith(("resnet", "mobilenet"))]
     assert any(row["measured_tta_speedup"] is not None and row["measured_tta_speedup"] > 0.0
                for row in cnn_rows)
+
+
+def test_table1_event_backend_matches_closed_form_at_small_scale(benchmark):
+    """Drive the Table 1 workloads through ``sim_backend="event"`` at the
+    "small" scale and assert event/closed-form agreement within 5%.
+
+    Both runs share the training math (freezing decisions are independent of
+    the time-accounting backend), so the comparison isolates the simulated
+    clocks: the discrete-event engine replaying every iteration versus the
+    validated closed-form fast mode.
+    """
+    epochs = 4
+
+    def run():
+        rows = []
+        for name in _WORKLOADS:
+            workload = build_workload(name, scale="small", seed=0)
+            event = run_trainer("egeria", workload, num_epochs=epochs, sim_backend="event")
+            closed = run_trainer("egeria", workload, num_epochs=epochs, sim_backend="closed_form")
+            deviation = (abs(event["simulated_time"] - closed["simulated_time"])
+                         / closed["simulated_time"]) if closed["simulated_time"] else 0.0
+            rows.append({
+                "workload": name,
+                "event_simulated_time": event["simulated_time"],
+                "closed_form_simulated_time": closed["simulated_time"],
+                "deviation": deviation,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows("Table 1 workloads, small scale: event vs closed-form simulated time", rows)
+    assert len(rows) == len(_WORKLOADS)
+    for row in rows:
+        assert row["event_simulated_time"] > 0.0
+        assert row["deviation"] < 0.05, row
 
 
 def test_table1_full_workload_coverage(benchmark, scale):

@@ -17,6 +17,8 @@ Top-level packages:
   freezing, Skip-Conv metric, FreezeOut and ByteScheduler models;
 * :mod:`repro.analysis` -- PWCCA/SVCCA post hoc convergence analysis;
 * :mod:`repro.sim` -- cost model, cluster topology, all-reduce and schedules;
+* :mod:`repro.ckpt` -- freezing-aware incremental checkpointing and
+  fault-tolerance storage backends;
 * :mod:`repro.metrics` -- accuracy metrics and time-to-accuracy tracking.
 """
 
@@ -32,5 +34,6 @@ __all__ = [
     "baselines",
     "analysis",
     "sim",
+    "ckpt",
     "metrics",
 ]

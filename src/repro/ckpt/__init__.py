@@ -1,0 +1,36 @@
+"""``repro.ckpt`` — freezing-aware checkpoint & fault-tolerance subsystem.
+
+Egeria's central observation — a converged frozen prefix stops changing and
+can be excluded from compute and gradient synchronization — applies equally
+to state persistence: the frozen prefix is immutable between freeze events,
+so checkpoints shrink as training freezes.  This package provides
+
+* :class:`CheckpointManager` — snapshots the complete training state
+  (model, optimizer, LR schedule, RNG streams, freezing-engine state,
+  activation-cache manifest) with content-addressed incremental tensor
+  storage;
+* :class:`MemoryBackend` / :class:`DirectoryBackend` — pluggable stores;
+  the directory backend writes atomically (temp file + rename) so crashes
+  never leave a torn checkpoint.
+
+The trainers integrate through ``BaseTrainer.configure_checkpointing`` /
+``restore`` (bit-exact resume), the cluster simulator through
+``ClusterScheduler`` failure injection and preemption (restart from the
+last checkpoint, costs charged through the cost model / engine), and the
+CLI through ``repro ckpt save|restore|inspect``.
+"""
+
+from .backends import CheckpointBackend, DirectoryBackend, MemoryBackend
+from .manager import CheckpointInfo, CheckpointManager
+from .serialization import join_state, split_state, tensor_digest
+
+__all__ = [
+    "CheckpointBackend",
+    "MemoryBackend",
+    "DirectoryBackend",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "split_state",
+    "join_state",
+    "tensor_digest",
+]

@@ -1,0 +1,181 @@
+"""The checkpoint manager: freezing-aware incremental training-state snapshots.
+
+:class:`CheckpointManager` persists complete, deterministic training states
+(model weights, optimizer moments, LR-scheduler step, RNG streams, the
+``FreezingEngine`` state and the ``ActivationCache`` manifest — assembled by
+``BaseTrainer.state_dict``) against a pluggable
+:class:`~repro.ckpt.backends.CheckpointBackend`.
+
+Every tensor is content-addressed, so a checkpoint only writes the objects
+that changed since any earlier checkpoint.  Egeria's frozen prefix is
+immutable between freeze events, which means its weights, optimizer buffers
+and BatchNorm statistics deduplicate to zero new bytes: the per-checkpoint
+write volume falls monotonically as the frozen prefix advances — the storage
+analogue of the paper's shrinking iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .backends import CheckpointBackend
+from .serialization import TENSOR_KEY, jsonify_scalars, join_state, split_state
+
+__all__ = ["CheckpointInfo", "CheckpointManager"]
+
+#: Manifest schema version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary of one saved checkpoint.
+
+    ``payload_bytes`` is the full logical size of the snapshot's tensors;
+    ``bytes_written`` is what actually hit the backend after content-addressed
+    deduplication (the incremental cost this checkpoint paid).
+    """
+
+    checkpoint_id: str
+    step: int
+    num_tensors: int
+    num_new_tensors: int
+    payload_bytes: int
+    bytes_written: int
+    meta: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "checkpoint_id": self.checkpoint_id,
+            "step": self.step,
+            "num_tensors": self.num_tensors,
+            "num_new_tensors": self.num_new_tensors,
+            "payload_bytes": self.payload_bytes,
+            "bytes_written": self.bytes_written,
+            "meta": dict(self.meta),
+        }
+
+
+class CheckpointManager:
+    """Saves/restores nested training states with incremental tensor storage."""
+
+    def __init__(self, backend: CheckpointBackend):
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    # Save
+    # ------------------------------------------------------------------ #
+    def save(self, state: Any, step: int, meta: Optional[Dict[str, Any]] = None) -> CheckpointInfo:
+        """Persist one training state; returns its :class:`CheckpointInfo`.
+
+        ``step`` orders checkpoints (the trainer passes its iteration count)
+        and must be unique per manager; ``meta`` is free-form JSON-able data
+        surfaced by :meth:`inspect` (e.g. epoch, frozen prefix length).
+        """
+        checkpoint_id = f"ckpt-{int(step):010d}"
+        tree, tensors = split_state(state)
+        bytes_written = 0
+        num_new = 0
+        new_digests = set()
+        for digest, array in tensors.items():
+            written = self.backend.write_object(digest, array)
+            if written:
+                num_new += 1
+                bytes_written += written
+                new_digests.add(digest)
+        payload_bytes = sum(int(array.nbytes) for array in tensors.values())
+        section_bytes = self._section_bytes(tree, tensors, new_digests)
+        info = CheckpointInfo(
+            checkpoint_id=checkpoint_id,
+            step=int(step),
+            num_tensors=len(tensors),
+            num_new_tensors=num_new,
+            payload_bytes=payload_bytes,
+            bytes_written=bytes_written,
+            meta=jsonify_scalars(dict(meta or {})),
+        )
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "checkpoint_id": checkpoint_id,
+            "step": int(step),
+            "meta": info.meta,
+            "stats": {
+                "num_tensors": info.num_tensors,
+                "num_new_tensors": info.num_new_tensors,
+                "payload_bytes": info.payload_bytes,
+                "bytes_written": info.bytes_written,
+                "bytes_written_by_section": section_bytes,
+            },
+            "state": jsonify_scalars(tree),
+        }
+        self.backend.write_manifest(checkpoint_id, manifest)
+        return info
+
+    @staticmethod
+    def _section_bytes(tree: Any, tensors: Dict[str, Any], new_digests) -> Dict[str, int]:
+        """New bytes attributed to each top-level key of a dict-shaped state.
+
+        This is what the overhead curve plots per section: the ``model`` and
+        ``optimizer`` sections shrink exactly with the frozen prefix, while
+        e.g. the quantized reference snapshot rewrites on its own update
+        cadence.  A digest shared between sections is counted in each.  Works
+        on the already-split placeholder ``tree``, so no tensor is copied or
+        hashed a second time.
+        """
+        if not isinstance(tree, dict):
+            return {}
+
+        def collect(node: Any, into: set) -> None:
+            if isinstance(node, dict):
+                if set(node.keys()) == {TENSOR_KEY}:
+                    into.add(node[TENSOR_KEY])
+                    return
+                for value in node.values():
+                    collect(value, into)
+            elif isinstance(node, list):
+                for value in node:
+                    collect(value, into)
+
+        section_bytes: Dict[str, int] = {}
+        for key, value in tree.items():
+            digests: set = set()
+            collect(value, digests)
+            section_bytes[str(key)] = sum(
+                int(tensors[digest].nbytes) for digest in digests if digest in new_digests)
+        return section_bytes
+
+    # ------------------------------------------------------------------ #
+    # Restore / inspect
+    # ------------------------------------------------------------------ #
+    def list_checkpoints(self) -> List[str]:
+        return self.backend.list_checkpoints()
+
+    def latest(self) -> Optional[str]:
+        checkpoints = self.list_checkpoints()
+        return checkpoints[-1] if checkpoints else None
+
+    def restore(self, checkpoint_id: Optional[str] = None) -> Any:
+        """Load a checkpoint's full state (latest when ``checkpoint_id`` is None)."""
+        checkpoint_id = checkpoint_id or self.latest()
+        if checkpoint_id is None:
+            raise KeyError("no checkpoints have been saved")
+        manifest = self.backend.read_manifest(checkpoint_id)
+        return join_state(manifest["state"], self.backend.read_object)
+
+    def inspect(self, checkpoint_id: Optional[str] = None) -> Dict[str, Any]:
+        """Manifest summary (step, byte counts, meta) without loading tensors."""
+        checkpoint_id = checkpoint_id or self.latest()
+        if checkpoint_id is None:
+            raise KeyError("no checkpoints have been saved")
+        manifest = self.backend.read_manifest(checkpoint_id)
+        return {
+            "checkpoint_id": manifest["checkpoint_id"],
+            "step": manifest["step"],
+            "meta": manifest.get("meta", {}),
+            **manifest.get("stats", {}),
+        }
+
+    def history(self) -> List[Dict[str, Any]]:
+        """Per-checkpoint summaries in step order (the overhead-curve input)."""
+        return [self.inspect(checkpoint_id) for checkpoint_id in self.list_checkpoints()]

@@ -1,6 +1,6 @@
 """Command-line interface for the Egeria reproduction.
 
-Three subcommands mirror the typical workflows:
+Four subcommands mirror the typical workflows:
 
 ``python -m repro.cli list``
     Show the seven Table 1 workloads and the systems that can train them.
@@ -12,6 +12,12 @@ Three subcommands mirror the typical workflows:
 ``python -m repro.cli compare --workload resnet56_cifar10``
     Run vanilla + Egeria (or any set of systems) on one workload and print the
     TTA-speedup comparison rows, i.e. one row of Table 1.
+
+``python -m repro.cli ckpt save|restore|inspect --dir CKPT_DIR ...``
+    Freezing-aware checkpointing: ``save`` trains with periodic full-state
+    snapshots into an atomic directory store, ``inspect`` prints each
+    checkpoint's (incremental) byte footprint, and ``restore`` resumes
+    training bit-exactly from the latest (or a named) checkpoint.
 """
 
 from __future__ import annotations
@@ -20,9 +26,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .ckpt import CheckpointManager, DirectoryBackend
 from .experiments import (
     SYSTEMS,
     available_workloads,
+    build_trainer,
     build_workload,
     compare_systems,
     format_rows,
@@ -55,6 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(SYSTEMS))
     compare.add_argument("--scale", default="tiny", choices=["tiny", "small"])
     compare.add_argument("--seed", type=int, default=0)
+
+    ckpt = subparsers.add_parser("ckpt", help="checkpoint management (save/restore/inspect)")
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+
+    def add_training_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workload", required=True, choices=available_workloads())
+        sub.add_argument("--system", default="egeria", choices=["vanilla", "egeria"])
+        sub.add_argument("--scale", default="tiny", choices=["tiny", "small"])
+        sub.add_argument("--epochs", type=int, default=None, help="override the workload's epoch count")
+        sub.add_argument("--seed", type=int, default=0)
+
+    save = ckpt_sub.add_parser("save", help="train with periodic full-state checkpoints")
+    add_training_args(save)
+    save.add_argument("--dir", required=True, help="checkpoint directory (atomic-write store)")
+    save.add_argument("--every", type=int, default=1, help="checkpoint every N epochs")
+
+    restore = ckpt_sub.add_parser("restore", help="resume training bit-exactly from a checkpoint")
+    add_training_args(restore)
+    restore.add_argument("--dir", required=True)
+    restore.add_argument("--id", default=None, help="checkpoint id (default: latest)")
+    restore.add_argument("--every", type=int, default=1,
+                         help="checkpoint cadence (epochs) for the resumed run")
+
+    inspect = ckpt_sub.add_parser("inspect", help="print the stored checkpoints and their byte footprint")
+    inspect.add_argument("--dir", required=True)
+    inspect.add_argument("--id", default=None, help="inspect one checkpoint (default: all)")
     return parser
 
 
@@ -96,6 +130,66 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_history_tail(trainer, metric_name: str, num_rows: int = 5) -> None:
+    print(f"{'epoch':>5} {'loss':>8} {metric_name:>10} {'frozen%':>8} {'sim-time':>10}")
+    for record in trainer.history.records[-num_rows:]:
+        print(f"{record.epoch:>5} {record.train_loss:>8.4f} {record.metric:>10.4f} "
+              f"{record.frozen_fraction:>8.0%} {record.simulated_time:>10.4f}")
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    if args.ckpt_command == "inspect":
+        manager = CheckpointManager(DirectoryBackend(args.dir))
+        rows = [manager.inspect(args.id)] if args.id else manager.history()
+        if not rows:
+            print(f"no checkpoints in {args.dir}")
+            return 1
+        print(f"{'checkpoint':<18} {'step':>6} {'epoch':>6} {'prefix':>7} "
+              f"{'payload':>12} {'written':>12} {'tensors':>9}")
+        for row in rows:
+            meta = row.get("meta", {})
+            print(f"{row['checkpoint_id']:<18} {row['step']:>6} {meta.get('epoch', '?'):>6} "
+                  f"{meta.get('frozen_prefix', '?'):>7} {row['payload_bytes']:>12} "
+                  f"{row['bytes_written']:>12} {row['num_new_tensors']:>4}/{row['num_tensors']:<4}")
+        return 0
+
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    trainer = build_trainer(args.system, workload)
+    manager = CheckpointManager(DirectoryBackend(args.dir))
+    num_epochs = args.epochs or workload.num_epochs
+
+    if args.ckpt_command == "save":
+        trainer.configure_checkpointing(manager, checkpoint_every=args.every)
+        trainer.fit(num_epochs)
+        print(f"{args.system} on {args.workload}: trained {num_epochs} epochs, "
+              f"{len(manager.list_checkpoints())} checkpoints in {args.dir}")
+        _print_history_tail(trainer, workload.task.metric_name)
+        for info in manager.history():
+            print(f"  {info['checkpoint_id']}  step {info['step']:>5}  "
+                  f"prefix {info['meta'].get('frozen_prefix', 0)}  wrote {info['bytes_written']} bytes")
+    else:  # restore
+        checkpoint = manager.inspect(args.id)
+        saved_name = checkpoint.get("meta", {}).get("name")
+        if saved_name is not None and saved_name != trainer.name:
+            print(f"error: checkpoint was saved by system {saved_name!r}, "
+                  f"requested --system {args.system!r}", file=sys.stderr)
+            return 2
+        trainer.configure_checkpointing(manager, checkpoint_every=args.every)
+        trainer.restore(args.id)
+        resumed_epoch = trainer._next_epoch
+        if resumed_epoch >= num_epochs:
+            print(f"checkpoint already covers epoch {resumed_epoch - 1}; nothing to resume "
+                  f"(target {num_epochs} epochs)")
+        else:
+            trainer.fit(num_epochs)
+            print(f"resumed {args.system} on {args.workload} from epoch {resumed_epoch} "
+                  f"to {num_epochs} (bit-exact continuation)")
+        _print_history_tail(trainer, workload.task.metric_name)
+    if hasattr(trainer, "close"):
+        trainer.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -105,6 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_train(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "ckpt":
+        return _cmd_ckpt(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

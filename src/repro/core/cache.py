@@ -216,6 +216,66 @@ class ActivationCache:
             self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def manifest(self) -> Dict[str, object]:
+        """Serializable description of the cache contents (not the tensors).
+
+        The activations themselves live on disk and are *reconstructable* (a
+        cache miss just recomputes the frozen prefix), so a checkpoint only
+        records the manifest: versioning counters, statistics and the byte
+        sizes of the on-disk entries.  Restoring into a cache pointed at the
+        same ``cache_dir`` re-attaches any entry whose file survived.
+        """
+        return {
+            "generation": int(self.generation),
+            "prefix_version": int(self.prefix_version),
+            "stats": {
+                "hits": int(self.stats.hits),
+                "misses": int(self.stats.misses),
+                "stores": int(self.stats.stores),
+                "invalidations": int(self.stats.invalidations),
+                "bytes_written": int(self.stats.bytes_written),
+                "prefetches": int(self.stats.prefetches),
+            },
+            "entries": {str(sample_id): int(nbytes)
+                        for sample_id, nbytes in sorted(self._entry_bytes.items())},
+        }
+
+    def load_manifest(self, manifest: Dict[str, object]) -> int:
+        """Restore versioning/statistics and re-attach surviving disk entries.
+
+        Returns the number of entries re-attached; entries whose files are
+        gone (e.g. the checkpoint was restored on another machine) are simply
+        dropped and will be recomputed as misses.
+        """
+        self._memory.clear()
+        self._on_disk.clear()
+        self._entry_bytes.clear()
+        self._disk_bytes = 0
+        self.generation = int(manifest["generation"])
+        self.prefix_version = int(manifest["prefix_version"])
+        stats = dict(manifest.get("stats") or {})
+        self.stats = CacheStats(
+            hits=int(stats.get("hits", 0)),
+            misses=int(stats.get("misses", 0)),
+            stores=int(stats.get("stores", 0)),
+            invalidations=int(stats.get("invalidations", 0)),
+            bytes_written=int(stats.get("bytes_written", 0)),
+            prefetches=int(stats.get("prefetches", 0)),
+        )
+        reattached = 0
+        for key, nbytes in dict(manifest.get("entries") or {}).items():
+            sample_id = int(key)
+            path = self._path_for(sample_id)
+            if os.path.exists(path):
+                self._on_disk[sample_id] = path
+                self._entry_bytes[sample_id] = int(nbytes)
+                self._disk_bytes += int(nbytes)
+                reattached += 1
+        return reattached
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property

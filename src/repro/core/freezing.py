@@ -236,6 +236,58 @@ class FreezingEngine:
             tracker.reset_history(keep_tolerance=True)
 
     # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of every decision-relevant field.
+
+        Restoring this state (into an engine built over the same layer-module
+        decomposition) and replaying the same plasticity readings reproduces
+        the exact freeze/unfreeze sequence — the property the checkpoint
+        subsystem's bit-exact resume guarantee rests on.
+        """
+        return {
+            "window": int(self.window),
+            "frontmost_active": int(self.frontmost_active),
+            "stale_counter": int(self.stale_counter),
+            "unfreeze_count": int(self._unfreeze_count),
+            "lr_at_first_freeze": self._lr_at_first_freeze,
+            "current_lr": self._current_lr,
+            "frozen": [bool(module.is_frozen()) for module in self.layer_modules],
+            "events": [event.as_dict() for event in self.events],
+            "trackers": {str(module.index): self.trackers[module.index].state_dict()
+                         for module in self.layer_modules},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        frozen = list(state["frozen"])
+        if len(frozen) != len(self.layer_modules):
+            raise ValueError(f"state has {len(frozen)} layer modules, engine has "
+                             f"{len(self.layer_modules)}")
+        for module, is_frozen in zip(self.layer_modules, frozen):
+            if is_frozen:
+                module.freeze()
+            else:
+                module.unfreeze()
+        self.window = int(state["window"])
+        self.frontmost_active = int(state["frontmost_active"])
+        self.stale_counter = int(state["stale_counter"])
+        self._unfreeze_count = int(state["unfreeze_count"])
+        lr_at_first_freeze = state.get("lr_at_first_freeze")
+        self._lr_at_first_freeze = None if lr_at_first_freeze is None else float(lr_at_first_freeze)
+        current_lr = state.get("current_lr")
+        self._current_lr = None if current_lr is None else float(current_lr)
+        self.events = [FreezeEvent(
+            iteration=int(event["iteration"]),
+            action=str(event["action"]),
+            module_name=str(event["module"]),
+            module_index=int(event["module_index"]),
+            active_parameter_fraction=float(event["active_parameter_fraction"]),
+        ) for event in state["events"]]
+        for module in self.layer_modules:
+            self.trackers[module.index].load_state_dict(state["trackers"][str(module.index)])
+
+    # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     def timeline(self) -> List[Dict[str, object]]:

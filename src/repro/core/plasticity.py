@@ -202,6 +202,24 @@ class PlasticityTracker:
         """Most recent smoothed plasticity value."""
         return self.smoothed_history[-1] if self.smoothed_history else None
 
+    def state_dict(self) -> dict:
+        """Serializable history/calibration snapshot (checkpointing)."""
+        return {
+            "window": int(self.window),
+            "tolerance": None if self._tolerance is None else float(self._tolerance),
+            "raw_history": [float(v) for v in self.raw_history],
+            "smoothed_history": [float(v) for v in self.smoothed_history],
+            "iteration_history": [int(v) for v in self.iteration_history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.window = int(state["window"])
+        tolerance = state.get("tolerance")
+        self._tolerance = None if tolerance is None else float(tolerance)
+        self.raw_history = [float(v) for v in state["raw_history"]]
+        self.smoothed_history = [float(v) for v in state["smoothed_history"]]
+        self.iteration_history = [int(v) for v in state["iteration_history"]]
+
     def reset_window(self, new_window: int) -> None:
         """Shrink/extend the window (used when unfreezing halves ``W``)."""
         if new_window <= 0:

@@ -114,6 +114,47 @@ class ReferenceModel:
         self.stats.last_snapshot_iteration = iteration
         return self.model
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Quantized snapshot weights, monitored paths and statistics.
+
+        The reference weights must be checkpointed verbatim (not regenerated
+        from the restored training model) because plasticity readings — and
+        hence freezing decisions — depend on exactly this quantized snapshot,
+        taken at an earlier iteration than the checkpoint.
+        """
+        return {
+            "model": None if self.model is None else dict(self.model.state_dict()),
+            "monitored_paths": list(self._monitored_paths),
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        stats = dict(state.get("stats") or {})
+        self.stats = ReferenceModelStats(
+            generations=int(stats.get("generations", 0)),
+            updates=int(stats.get("updates", 0)),
+            forward_passes=int(stats.get("forward_passes", 0)),
+            total_generation_seconds=float(stats.get("total_generation_seconds", 0.0)),
+            total_forward_seconds=float(stats.get("total_forward_seconds", 0.0)),
+            last_snapshot_iteration=int(stats.get("last_snapshot_iteration", -1)),
+        )
+        self._monitored_paths = list(state.get("monitored_paths") or [])
+        if self.recorder is not None:
+            self.recorder.remove()
+            self.recorder = None
+        snapshot = state.get("model")
+        if snapshot is None:
+            self.model = None
+            return
+        self.model = self.model_factory()
+        self.model.load_state_dict(snapshot)
+        self.model.eval()
+        if self._monitored_paths:
+            self.recorder = ActivationRecorder(self.model, self._monitored_paths)
+
     def staleness(self, current_iteration: int) -> int:
         """Iterations elapsed since the last snapshot was taken."""
         if self.stats.last_snapshot_iteration < 0:

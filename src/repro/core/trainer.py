@@ -45,6 +45,51 @@ from .worker import EgeriaWorker
 __all__ = ["BaseTrainer", "EgeriaTrainer"]
 
 
+def _capture_rng_state() -> Dict[str, object]:
+    """Snapshot numpy's global RNG stream (part of the deterministic state)."""
+    name, keys, pos, has_gauss, cached_gaussian = np.random.get_state()
+    return {
+        "name": str(name),
+        "keys": np.array(keys, copy=True),
+        "pos": int(pos),
+        "has_gauss": int(has_gauss),
+        "cached_gaussian": float(cached_gaussian),
+    }
+
+
+def _restore_rng_state(state: Dict[str, object]) -> None:
+    np.random.set_state((
+        str(state["name"]),
+        np.asarray(state["keys"], dtype=np.uint32),
+        int(state["pos"]),
+        int(state["has_gauss"]),
+        float(state["cached_gaussian"]),
+    ))
+
+
+def _capture_module_rng_states(model: Module) -> Dict[str, Dict]:
+    """Per-layer RNG streams (e.g. Dropout mask generators), keyed by path.
+
+    ``Generator.bit_generator.state`` is a plain nested dict of ints/strings,
+    so it serializes as checkpoint metadata; without it, a restored run's
+    dropout masks would restart from the layer seed instead of the mid-run
+    stream position, breaking the bit-exact resume guarantee.
+    """
+    states: Dict[str, Dict] = {}
+    for path, module in model.named_modules():
+        rng = getattr(module, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            states[path] = rng.bit_generator.state
+    return states
+
+
+def _restore_module_rng_states(model: Module, states: Dict[str, Dict]) -> None:
+    for path, module in model.named_modules():
+        rng = getattr(module, "_rng", None)
+        if isinstance(rng, np.random.Generator) and path in states:
+            rng.bit_generator.state = states[path]
+
+
 class BaseTrainer:
     """Plain training loop with simulated-time accounting.
 
@@ -97,6 +142,14 @@ class BaseTrainer:
                                   higher_is_better=task.higher_is_better)
         self._wall_start: Optional[float] = None
         self._epoch_losses: List[float] = []
+
+        #: Checkpointing hooks (see :meth:`configure_checkpointing`): when a
+        #: manager is attached, a snapshot is saved every
+        #: ``checkpoint_every`` completed epochs and :meth:`restore` resumes
+        #: bit-exactly from the latest (or a named) checkpoint.
+        self.checkpoint_manager = None
+        self.checkpoint_every = 1
+        self._next_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Hooks overridden by subclasses
@@ -217,10 +270,12 @@ class BaseTrainer:
 
         When ``target_metric`` is given and ``stop_at_target`` is True the run
         stops at the first epoch that reaches the target (TTA measurement).
+        After a :meth:`restore`, training resumes at the checkpointed epoch
+        and continues up to ``num_epochs``.
         """
         self._wall_start = time.perf_counter()
-        last_metric = float("nan")
-        for epoch in range(num_epochs):
+        last_metric = self.history.records[-1].metric if self.history.records else float("nan")
+        for epoch in range(self._next_epoch, num_epochs):
             mean_loss = self.train_epoch(epoch)
             if self.eval_loader is not None and (epoch % eval_every == 0 or epoch == num_epochs - 1):
                 last_metric = self.evaluate()
@@ -234,10 +289,93 @@ class BaseTrainer:
                 frozen_fraction=self.frozen_fraction(),
                 cached_fp=self.uses_cached_fp(),
             ))
+            self._next_epoch = epoch + 1
+            if self.checkpoint_manager is not None and (epoch + 1) % self.checkpoint_every == 0:
+                self.save_checkpoint()
             if target_metric is not None and stop_at_target and not np.isnan(last_metric):
                 if self.task.better(last_metric, target_metric) or last_metric == target_metric:
                     break
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def configure_checkpointing(self, manager, checkpoint_every: int = 1) -> None:
+        """Attach a :class:`~repro.ckpt.CheckpointManager`.
+
+        A full training-state snapshot is saved every ``checkpoint_every``
+        completed epochs during :meth:`fit`; checkpoints are taken at epoch
+        boundaries, where the controller/worker queues are drained, so a
+        restored run is bit-exact.
+        """
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.checkpoint_manager = manager
+        self.checkpoint_every = int(checkpoint_every)
+
+    def save_checkpoint(self):
+        """Snapshot the complete training state; returns the CheckpointInfo."""
+        if self.checkpoint_manager is None:
+            raise RuntimeError("no checkpoint manager configured; call configure_checkpointing")
+        return self.checkpoint_manager.save(
+            self.state_dict(), step=self.iteration,
+            meta={
+                "name": self.name,
+                "epoch": self._next_epoch - 1,
+                "iteration": self.iteration,
+                "frozen_prefix": self.frozen_prefix(),
+                "frozen_fraction": self.frozen_fraction(),
+            })
+
+    def restore(self, checkpoint_id: Optional[str] = None) -> "BaseTrainer":
+        """Load a checkpoint (latest by default) and resume from it."""
+        if self.checkpoint_manager is None:
+            raise RuntimeError("no checkpoint manager configured; call configure_checkpointing")
+        self.load_state_dict(self.checkpoint_manager.restore(checkpoint_id))
+        return self
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete, deterministic training state (see docs/checkpointing.md).
+
+        Covers model weights/buffers, optimizer moments, LR-scheduler
+        position, the numpy RNG stream, loop counters and the recorded
+        history; :class:`EgeriaTrainer` extends it with the freezing-engine,
+        reference-model and activation-cache state.
+        """
+        return {
+            "format": "repro.trainer/1",
+            "name": self.name,
+            "iteration": int(self.iteration),
+            "simulated_time": float(self.simulated_time),
+            "next_epoch": int(self._next_epoch),
+            "model": dict(self.model.state_dict()),
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": None if self.scheduler is None else self.scheduler.state_dict(),
+            "rng": _capture_rng_state(),
+            "module_rng": _capture_module_rng_states(self.model),
+            "history": [record.as_dict() for record in self.history.records],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        if self.scheduler is not None and state.get("scheduler") is not None:
+            self.scheduler.load_state_dict(state["scheduler"])
+        self.iteration = int(state["iteration"])
+        self.simulated_time = float(state["simulated_time"])
+        self._next_epoch = int(state["next_epoch"])
+        _restore_rng_state(state["rng"])
+        _restore_module_rng_states(self.model, dict(state.get("module_rng") or {}))
+        self.history.records = [EpochRecord(
+            epoch=int(record["epoch"]),
+            train_loss=float(record["train_loss"]),
+            metric=float(record["metric"]),
+            simulated_time=float(record["simulated_time"]),
+            wall_time=float(record["wall_time"]),
+            learning_rate=float(record["learning_rate"]),
+            frozen_fraction=float(record["frozen_fraction"]),
+            cached_fp=bool(record["cached_fp"]),
+        ) for record in state["history"]]
 
 
 class EgeriaTrainer(BaseTrainer):
@@ -399,6 +537,62 @@ class EgeriaTrainer(BaseTrainer):
             self.cache.store_batch(batch.indices, activation)
         future = self.train_loader.peek_future_indices(num_batches=self.prefetcher.lookahead_batches)
         self.prefetcher.prefetch(future)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["egeria"] = {
+            "stage": self.stage,
+            "bootstrap_losses": [float(v) for v in self._bootstrap_losses],
+            "bootstrap_window_means": [float(v) for v in self._bootstrap_window_means],
+            "num_frozen_seen": int(self._num_frozen_seen),
+            "fp_skipped_iterations": int(self.fp_skipped_iterations),
+            "stage_transitions": [dict(t) for t in self.stage_transitions],
+            "engine": self.engine.state_dict(),
+            "controller": {
+                "evaluations_done": int(self.controller.evaluations_done),
+                "evaluations_skipped_cpu": int(self.controller.evaluations_skipped_cpu),
+                "reference_updates": int(self.controller.reference_updates),
+            },
+            "reference": self.reference.state_dict(),
+            "cache": self.cache.manifest(),
+        }
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        egeria = state["egeria"]
+        self.stage = str(egeria["stage"])
+        self._bootstrap_losses = [float(v) for v in egeria["bootstrap_losses"]]
+        self._bootstrap_window_means = [float(v) for v in egeria["bootstrap_window_means"]]
+        self.fp_skipped_iterations = int(egeria["fp_skipped_iterations"])
+        self.stage_transitions = [dict(t) for t in egeria["stage_transitions"]]
+
+        # Engine first (it sets the requires_grad flags the worker reads) ...
+        self.engine.load_state_dict(egeria["engine"])
+        # ... then the reference snapshot, exactly as quantized at save time
+        # (regenerating from the restored weights would change plasticity
+        # readings and hence future freezing decisions).
+        self.reference.load_state_dict(egeria["reference"])
+        controller_state = dict(egeria["controller"])
+        self.controller.evaluations_done = int(controller_state["evaluations_done"])
+        self.controller.evaluations_skipped_cpu = int(controller_state["evaluations_skipped_cpu"])
+        self.controller.reference_updates = int(controller_state["reference_updates"])
+        self.controller._pending_reference.clear()
+        self.channels.clear()
+
+        # Re-derive the runtime side: BatchNorm/Dropout inference mode on
+        # frozen modules, worker hook on the monitored module, cache recorder
+        # on the frozen prefix tail.
+        self.model.train()
+        self.worker.apply_decisions()
+        if self.reference.model is not None:
+            self.controller._sync_reference_hooks()
+        self._num_frozen_seen = int(egeria["num_frozen_seen"])
+        self.cache.load_manifest(egeria["cache"])
+        self._retarget_cache_recorder()
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -7,6 +7,8 @@ baseline, and one ``run_*`` function per table/figure (used by the
 """
 
 from .figures import (
+    run_checkpoint_overhead,
+    run_fault_tolerance,
     run_fig1_pwcca_convergence,
     run_fig2_premature_freezing,
     run_fig4_plasticity_trends,
@@ -15,12 +17,13 @@ from .figures import (
     run_fig10_distributed,
     run_fig11_freezing_decisions,
     run_fig12_hyperparameters,
+    run_freezing_replay,
     run_multijob_cluster,
     run_overhead_analysis,
     run_table1_tta,
     run_table2_reference_precision,
 )
-from .runners import SYSTEMS, ComparisonRow, compare_systems, format_rows, run_trainer
+from .runners import SYSTEMS, ComparisonRow, build_trainer, compare_systems, format_rows, run_trainer
 from .workloads import SCALES, Workload, available_workloads, build_workload
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "available_workloads",
     "SYSTEMS",
     "ComparisonRow",
+    "build_trainer",
     "run_trainer",
     "compare_systems",
     "format_rows",
@@ -42,6 +46,9 @@ __all__ = [
     "run_fig9_breakdown",
     "run_fig10_distributed",
     "run_multijob_cluster",
+    "run_freezing_replay",
+    "run_checkpoint_overhead",
+    "run_fault_tolerance",
     "run_fig11_freezing_decisions",
     "run_fig12_hyperparameters",
     "run_overhead_analysis",

@@ -16,6 +16,9 @@ Index
 * :func:`run_fig9_breakdown`          — Figure 9 (BP freezing vs FP caching)
 * :func:`run_fig10_distributed`       — Figure 10 (distributed throughput)
 * :func:`run_multijob_cluster`        — beyond-paper: multi-job cluster scenario
+* :func:`run_freezing_replay`         — beyond-paper: Egeria timeline replayed in the simulator
+* :func:`run_checkpoint_overhead`     — beyond-paper: freezing-aware checkpoint byte curve
+* :func:`run_fault_tolerance`         — beyond-paper: failure injection, resume vs from-scratch
 * :func:`run_fig11_freezing_decisions`— Figure 11 (freeze/unfreeze timeline)
 * :func:`run_table2_reference_precision` — Table 2 (int8/fp16/fp32 reference)
 * :func:`run_fig12_hyperparameters`   — Figure 12 (sensitivity of n, W, T)
@@ -33,6 +36,7 @@ import numpy as np
 from .. import nn
 from ..analysis import ConvergenceAnalyzer
 from ..baselines import DistributedThroughputComparison
+from ..ckpt import CheckpointManager, MemoryBackend
 from ..core import EgeriaConfig, EgeriaTrainer, parse_layer_modules, sp_loss
 from ..core.hooks import ActivationRecorder
 from ..core.reference import ReferenceModel
@@ -61,6 +65,9 @@ __all__ = [
     "run_fig9_breakdown",
     "run_fig10_distributed",
     "run_multijob_cluster",
+    "run_freezing_replay",
+    "run_checkpoint_overhead",
+    "run_fault_tolerance",
     "run_fig11_freezing_decisions",
     "run_table2_reference_precision",
     "run_fig12_hyperparameters",
@@ -419,6 +426,153 @@ def run_multijob_cluster(workload_name: str = "resnet50_imagenet", scale: str = 
         "placement": placement,
         "straggler": {"gpu": straggler_gpu, "speed": straggler_speed},
         "result": result.as_dict(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Beyond the paper — Egeria freezing timeline replayed through the simulator
+# --------------------------------------------------------------------------- #
+def run_freezing_replay(workload_name: str = "resnet56_cifar10", scale: str = "tiny",
+                        num_workers: int = 4, seed: int = 0) -> Dict[str, object]:
+    """Replay a real Egeria freezing timeline inside the cluster simulator.
+
+    Trains the workload with Egeria, converts its freeze/unfreeze events into
+    a ``iteration -> frozen_prefix`` step function, and feeds that callable to
+    :attr:`SimJob.frozen_prefix` — so the simulated job's iterations shorten
+    mid-run exactly when the real run froze modules, the cluster-level view
+    of Figure 11.
+    """
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    egeria = run_trainer("egeria", workload)
+    timeline = egeria["timeline"]
+    total_iterations = int(egeria["summary"]["iteration"])
+
+    # Freeze events advance the prefix front-to-back; an unfreeze resets it.
+    steps: List[tuple] = [(0, 0)]
+    for event in timeline:
+        if event["action"] in ("freeze", "refreeze"):
+            prefix = int(event["module_index"]) + 1
+        else:
+            prefix = 0
+        steps.append((int(event["iteration"]), prefix))
+
+    def prefix_at(iteration: int) -> int:
+        prefix = 0
+        for start, value in steps:
+            if iteration >= start:
+                prefix = value
+            else:
+                break
+        return prefix
+
+    layer_modules = parse_layer_modules(workload.make_model())
+    cost_model = CostModel(layer_modules, batch_size=workload.batch_size)
+    cluster = paper_testbed_cluster()
+    scheduler = ClusterScheduler(cluster, placement="fifo", seed=seed)
+    scheduler.submit(SimJob("egeria_replay", cost_model, num_workers=num_workers,
+                            iterations=total_iterations, policy=SchedulePolicy.EGERIA,
+                            frozen_prefix=prefix_at, cached_fp=True,
+                            include_reference_overhead=True))
+    result = scheduler.run()
+    record = result.jobs["egeria_replay"]
+    return {
+        "workload": workload_name,
+        "total_iterations": total_iterations,
+        "num_freeze_events": sum(1 for e in timeline if e["action"] in ("freeze", "refreeze")),
+        "prefix_series": [prefix_at(i) for i in range(total_iterations)],
+        "iteration_seconds": list(record.iteration_seconds),
+        "makespan": result.makespan,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Beyond the paper — freezing-aware checkpoint overhead curve (next to Fig. 9)
+# --------------------------------------------------------------------------- #
+def run_checkpoint_overhead(workload_name: str = "resnet56_cifar10", scale: str = "tiny",
+                            seed: int = 0) -> Dict[str, object]:
+    """Per-checkpoint write volume of an Egeria run, one checkpoint per epoch.
+
+    The storage analogue of the Figure 9 iteration-time breakdown: tensors
+    are content-addressed, the frozen prefix is immutable between freeze
+    events, so the ``model``/``optimizer`` bytes each checkpoint writes fall
+    as the prefix advances.  Rows carry the total and the per-section bytes
+    (the quantized reference snapshot rewrites on its own update cadence).
+    """
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    manager = CheckpointManager(MemoryBackend())
+    result = run_trainer("egeria", workload, checkpoint_manager=manager, checkpoint_every=1)
+    rows: List[Dict[str, object]] = []
+    for info in result["checkpoints"]:
+        sections = info.get("bytes_written_by_section", {})
+        rows.append({
+            "step": info["step"],
+            "epoch": info["meta"]["epoch"],
+            "frozen_prefix": info["meta"]["frozen_prefix"],
+            "frozen_fraction": info["meta"]["frozen_fraction"],
+            "bytes_written": info["bytes_written"],
+            "payload_bytes": info["payload_bytes"],
+            "model_state_bytes": sections.get("model", 0) + sections.get("optimizer", 0),
+            "reference_bytes": sections.get("egeria", 0),
+        })
+    return {
+        "workload": workload_name,
+        "rows": rows,
+        "timeline": result["timeline"],
+        "full_payload_bytes": rows[0]["payload_bytes"] if rows else 0,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Beyond the paper — failure injection: resume-from-checkpoint vs from-scratch
+# --------------------------------------------------------------------------- #
+def run_fault_tolerance(workload_name: str = "resnet50_imagenet", scale: str = "tiny",
+                        iterations: int = 30, checkpoint_every: int = 5,
+                        fail_gpu: str = "node0:gpu0", fail_after_fraction: float = 0.6,
+                        frozen_fraction: float = 0.4, seed: int = 0) -> Dict[str, object]:
+    """Deterministic failure-injection scenario, with and without checkpoints.
+
+    One 4-worker job trains on the paper's testbed; ``fail_gpu`` dies after
+    ~``fail_after_fraction`` of the run.  With ``checkpoint_every`` set the
+    job restarts from its last incremental checkpoint (restore read charged
+    as link-bytes); without, it restarts from scratch.  Returns both runs'
+    records so the benchmark can assert the makespan win.
+    """
+    workload = build_workload(workload_name, scale=scale, seed=seed)
+    layer_modules = parse_layer_modules(workload.make_model())
+    cost_model = CostModel(layer_modules, batch_size=workload.batch_size)
+    total_params = sum(m.num_params for m in layer_modules)
+    prefix, running = 0, 0
+    for module in layer_modules:
+        if running + module.num_params > total_params * frozen_fraction:
+            break
+        running += module.num_params
+        prefix += 1
+
+    def scenario(ckpt_every: Optional[int]) -> Dict[str, object]:
+        cluster = paper_testbed_cluster()
+        scheduler = ClusterScheduler(cluster, placement="fifo", seed=seed)
+        scheduler.submit(SimJob("job", cost_model, num_workers=4, iterations=iterations,
+                                policy=SchedulePolicy.EGERIA, frozen_prefix=prefix,
+                                cached_fp=True, include_reference_overhead=True,
+                                checkpoint_every=ckpt_every))
+        nominal = scheduler.engine.simulate_iteration(
+            cost_model, workers=cluster.workers(2, 2), frozen_prefix=prefix, cached_fp=True,
+            include_reference_overhead=True).total
+        scheduler.inject_failure(fail_gpu, at_time=nominal * iterations * fail_after_fraction)
+        return scheduler.run().as_dict()
+
+    with_checkpoint = scenario(checkpoint_every)
+    from_scratch = scenario(None)
+    return {
+        "workload": workload_name,
+        "iterations": iterations,
+        "checkpoint_every": checkpoint_every,
+        "frozen_prefix": prefix,
+        "fail_gpu": fail_gpu,
+        "with_checkpoint": with_checkpoint,
+        "from_scratch": from_scratch,
+        "makespan_saving": (from_scratch["makespan"] - with_checkpoint["makespan"])
+                           / from_scratch["makespan"] if from_scratch["makespan"] else 0.0,
     }
 
 

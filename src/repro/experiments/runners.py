@@ -28,14 +28,14 @@ from ..metrics.tracking import RunHistory, tta_speedup
 from ..sim import Cluster, EventDrivenEngine, SchedulePolicy
 from .workloads import Workload
 
-__all__ = ["SYSTEMS", "run_trainer", "compare_systems", "ComparisonRow"]
+__all__ = ["SYSTEMS", "build_trainer", "run_trainer", "compare_systems", "ComparisonRow"]
 
 #: Names of the systems the evaluation section compares.
 SYSTEMS = ("vanilla", "egeria", "autofreeze", "skipconv", "static_freeze", "freezeout")
 
 
-def _build_trainer(system: str, workload: Workload, comm_seconds_per_byte: float = 0.0,
-                   config: Optional[EgeriaConfig] = None, **overrides) -> BaseTrainer:
+def build_trainer(system: str, workload: Workload, comm_seconds_per_byte: float = 0.0,
+                  config: Optional[EgeriaConfig] = None, **overrides) -> BaseTrainer:
     model = workload.make_model()
     optimizer = workload.make_optimizer(model)
     scheduler = workload.make_scheduler(optimizer)
@@ -81,6 +81,7 @@ def run_trainer(system: str, workload: Workload, num_epochs: Optional[int] = Non
                 comm_seconds_per_byte: float = 0.0, config: Optional[EgeriaConfig] = None,
                 sim_backend: str = "event", sim_cluster: Optional[Cluster] = None,
                 sim_num_machines: Optional[int] = None, sim_gpus_per_machine: Optional[int] = None,
+                checkpoint_manager=None, checkpoint_every: int = 1,
                 **overrides) -> Dict[str, object]:
     """Train one system on one workload; returns history, trainer summary, etc.
 
@@ -90,8 +91,12 @@ def run_trainer(system: str, workload: Workload, num_epochs: Optional[int] = Non
     ``sim_gpus_per_machine`` workers (otherwise the single-GPU compute
     timeline is replayed event by event).  ``sim_backend="closed_form"``
     selects the validated analytical fast mode.
+
+    With a ``checkpoint_manager`` (see :mod:`repro.ckpt`) the trainer saves a
+    full training-state snapshot every ``checkpoint_every`` epochs; the
+    result dict then carries the per-checkpoint ``"checkpoints"`` history.
     """
-    trainer = _build_trainer(system, workload, comm_seconds_per_byte, config, **overrides)
+    trainer = build_trainer(system, workload, comm_seconds_per_byte, config, **overrides)
     if sim_backend != trainer.sim_backend or sim_cluster is not None:
         engine = EventDrivenEngine(sim_cluster) if sim_backend == "event" else None
         workers = None
@@ -100,6 +105,8 @@ def run_trainer(system: str, workload: Workload, num_epochs: Optional[int] = Non
                                           gpus_per_machine=sim_gpus_per_machine)
         trainer.configure_simulation(backend=sim_backend, engine=engine, workers=workers,
                                      policy=SchedulePolicy.VANILLA)
+    if checkpoint_manager is not None:
+        trainer.configure_checkpointing(checkpoint_manager, checkpoint_every=checkpoint_every)
     history = trainer.fit(num_epochs or workload.num_epochs)
     result: Dict[str, object] = {
         "system": system,
@@ -112,6 +119,8 @@ def run_trainer(system: str, workload: Workload, num_epochs: Optional[int] = Non
         "wall_time": history.total_wall_time(),
         "frozen_fraction": trainer.frozen_fraction(),
     }
+    if checkpoint_manager is not None:
+        result["checkpoints"] = checkpoint_manager.history()
     if isinstance(trainer, EgeriaTrainer):
         result["summary"] = trainer.summary()
         result["timeline"] = trainer.freezing_timeline()

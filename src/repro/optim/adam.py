@@ -47,6 +47,25 @@ class Adam(Optimizer):
         v += (1.0 - beta2) * grad * grad
         return m, v, self._t[key]
 
+    def _buffer_state(self) -> Dict[str, object]:
+        moments: Dict[str, object] = {"m": {}, "v": {}, "t": {}}
+        for position, param in enumerate(self.params):
+            key = id(param)
+            if key in self._m:
+                moments["m"][str(position)] = self._m[key].copy()
+                moments["v"][str(position)] = self._v[key].copy()
+                moments["t"][str(position)] = int(self._t[key])
+        return moments
+
+    def _load_buffer_state(self, buffers: Dict[str, object]) -> None:
+        self._m, self._v, self._t = {}, {}, {}
+        for position, m in dict(buffers.get("m") or {}).items():
+            param = self.params[int(position)]
+            key = id(param)
+            self._m[key] = np.array(m, dtype=param.data.dtype, copy=True)
+            self._v[key] = np.array(buffers["v"][position], dtype=param.data.dtype, copy=True)
+            self._t[key] = int(buffers["t"][position])
+
     def step(self) -> None:
         beta1, beta2 = self.betas
         for param in self.params:

@@ -58,6 +58,15 @@ class LRScheduler:
     def current_lr(self) -> float:
         return self.optimizer.lr
 
+    def state_dict(self) -> dict:
+        """Serializable schedule position (the trainers checkpoint this)."""
+        return {"last_epoch": int(self.last_epoch), "base_lr": float(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.last_epoch = int(state["last_epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self.get_lr(self.last_epoch)
+
     def history(self, num_epochs: int) -> List[float]:
         """LR values for epochs ``0..num_epochs-1`` without touching state."""
         return [self.get_lr(e) for e in range(num_epochs)]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 from ..nn.module import Parameter
 
@@ -38,3 +38,32 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot: LR, step counter and per-parameter buffers.
+
+        Buffers are keyed by the parameter's *position* in ``self.params``
+        (identity keys like ``id(param)`` do not survive a process restart);
+        restoring into an optimizer built over the same parameter list in the
+        same order reproduces the exact update sequence.
+        """
+        return {
+            "lr": float(self.lr),
+            "step_count": int(self._step_count),
+            "buffers": self._buffer_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        self._load_buffer_state(dict(state.get("buffers") or {}))
+
+    def _buffer_state(self) -> Dict[str, object]:
+        """Subclass hook: per-parameter buffers keyed by parameter position."""
+        return {}
+
+    def _load_buffer_state(self, buffers: Dict[str, object]) -> None:
+        """Subclass hook: inverse of :meth:`_buffer_state`."""

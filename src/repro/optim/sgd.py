@@ -69,6 +69,20 @@ class SGD(Optimizer):
             param.data = param.data - self.lr * grad
         self._step_count += 1
 
+    def _buffer_state(self) -> Dict[str, object]:
+        velocity = {}
+        for position, param in enumerate(self.params):
+            buf = self._velocity.get(id(param))
+            if buf is not None:
+                velocity[str(position)] = buf.copy()
+        return {"velocity": velocity}
+
+    def _load_buffer_state(self, buffers: Dict[str, object]) -> None:
+        self._velocity = {}
+        for position, buf in dict(buffers.get("velocity") or {}).items():
+            param = self.params[int(position)]
+            self._velocity[id(param)] = np.array(buf, dtype=param.data.dtype, copy=True)
+
     def state_summary(self) -> Dict[str, float]:
         """Small diagnostic summary (used in tests and logging)."""
         velocities: List[float] = [float(np.abs(v).mean()) for v in self._velocity.values()]

@@ -26,9 +26,10 @@ time (plus a small prefetch overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from ..core.modules import LayerModule
+if TYPE_CHECKING:  # type-only: a runtime import would cycle through repro.core
+    from ..core.modules import LayerModule
 
 __all__ = ["GPUSpec", "IterationBreakdown", "CostModel"]
 
@@ -124,6 +125,29 @@ class CostModel:
 
     def module_gradient_bytes(self, module: LayerModule) -> int:
         return module.num_params * 4
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint volume
+    # ------------------------------------------------------------------ #
+    #: Optimizer state written alongside the fp32 weights: weights plus two
+    #: Adam-style moment buffers (SGD's single velocity buffer writes less,
+    #: but the ratio only shifts the absolute cost, not the freezing trend).
+    CKPT_STATE_MULTIPLIER = 3.0
+
+    def checkpoint_bytes(self, frozen_prefix: int = 0, incremental: bool = True,
+                         state_multiplier: Optional[float] = None) -> int:
+        """Bytes persisted by one training-state checkpoint.
+
+        With ``incremental`` (the freezing-aware layout) the immutable frozen
+        prefix is content-addressed and written once, so only the active
+        suffix counts — checkpoint volume falls as the prefix advances, just
+        like iteration time.  A full (non-incremental) snapshot — what a
+        restore has to read back — always covers every module.
+        """
+        frozen_prefix = max(0, min(frozen_prefix, len(self.layer_modules)))
+        modules = self.layer_modules[frozen_prefix:] if incremental else self.layer_modules
+        multiplier = self.CKPT_STATE_MULTIPLIER if state_multiplier is None else state_multiplier
+        return int(4 * sum(m.num_params for m in modules) * multiplier)
 
     # ------------------------------------------------------------------ #
     # Iteration-level accounting

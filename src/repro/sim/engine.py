@@ -225,6 +225,31 @@ class EventDrivenEngine:
             return 0.0
         return self.allreduce.allreduce_seconds(num_bytes, list(devices)) * self.comm_scale
 
+    def transfer_seconds(self, num_bytes: int, workers: Optional[Sequence[WorkerLike]] = None,
+                         seconds_per_byte: Optional[float] = None) -> float:
+        """Time to move ``num_bytes`` of state over the workers' uplinks.
+
+        Prices checkpoint writes and restore reads the same way gradient
+        buckets are priced: as link-bytes.  With an explicit
+        ``seconds_per_byte`` the cost is linear (the trainers' hook);
+        otherwise the bytes traverse the slowest NIC among the workers'
+        machines, subject to the engine's ``comm_scale`` fair-sharing factor.
+        Without a cluster the transfer is free (single-node storage is not
+        modelled).
+        """
+        if num_bytes <= 0:
+            return 0.0
+        if seconds_per_byte is not None:
+            return num_bytes * float(seconds_per_byte) * self.comm_scale
+        if self.cluster is None or not workers:
+            return 0.0
+        machines = {w.machine for w in workers if isinstance(w, GPUDevice)}
+        if not machines:
+            return 0.0
+        nic_gbps = min(m.nic_gbps for m in self.cluster.machines if m.name in machines)
+        latency = self.allreduce.latency_seconds if self.allreduce is not None else 0.0
+        return latency + num_bytes * 8.0 / (nic_gbps * 1e9) * self.comm_scale
+
     # ------------------------------------------------------------------ #
     # Core event loop
     # ------------------------------------------------------------------ #

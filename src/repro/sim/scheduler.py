@@ -17,6 +17,13 @@ scenarios the closed-form model cannot express become one-liners:
   every all-reduce on the slowest worker.
 * **Elastic jobs** — :meth:`resize_job` adds or removes workers at a given
   time; subsequent iterations use the new all-reduce group and batch volume.
+  Checkpointed jobs treat a resize as a *migration* and pay the checkpoint
+  write/restore read as link-bytes.
+* **Failures and preemption** — :meth:`inject_failure` takes a GPU down
+  (optionally back up later); :meth:`preempt_job`/:meth:`resume_job` pause
+  and re-queue a job.  Victims restart from their last periodic checkpoint
+  (``SimJob.checkpoint_every``) or from scratch without one, with
+  checkpoint/restore costs charged through the cost model and engine.
 * **Network contention** — while more than one multi-machine job is running,
   every job's communication is scaled by the number of such jobs (the shared
   leaf–spine fabric is modelled as fair-shared).
@@ -48,6 +55,12 @@ class SimJob:
     ``frozen_prefix`` may be an int (constant) or a callable mapping the
     iteration index to a prefix length, so an Egeria job's progressive
     freezing schedule can be replayed inside the simulation.
+
+    ``checkpoint_every`` enables fault tolerance: every that many completed
+    iterations the job writes a freezing-aware incremental checkpoint (the
+    active suffix only, priced as link-bytes through the engine).  After a
+    failure or preemption the job restarts from its last checkpoint — paying
+    a full-state restore read — instead of from scratch.
     """
 
     name: str
@@ -59,6 +72,11 @@ class SimJob:
     cached_fp: bool = False
     include_reference_overhead: bool = False
     arrival_time: float = 0.0
+    checkpoint_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive (or None to disable)")
 
     def prefix_at(self, iteration: int) -> int:
         if callable(self.frozen_prefix):
@@ -68,7 +86,12 @@ class SimJob:
 
 @dataclass
 class JobRecord:
-    """Lifecycle and per-iteration timing of one job."""
+    """Lifecycle and per-iteration timing of one job.
+
+    ``placed_seconds`` accumulates only the intervals the job actually held
+    GPUs, so :meth:`throughput` excludes queueing, preempted and
+    failed-and-requeued intervals.
+    """
 
     name: str
     arrival_time: float
@@ -78,6 +101,18 @@ class JobRecord:
     worker_names: List[str] = field(default_factory=list)
     iteration_seconds: List[float] = field(default_factory=list)
     samples_processed: float = 0.0
+    placed_seconds: float = 0.0
+    placed_since: Optional[float] = None
+    checkpoint_iteration: int = 0
+    #: ``samples_processed`` watermark at the last checkpoint, so a rollback
+    #: restores the exact credit even if the worker count changed since.
+    samples_at_checkpoint: float = 0.0
+    checkpoints_taken: int = 0
+    checkpoint_seconds: float = 0.0
+    restores: int = 0
+    restore_seconds: float = 0.0
+    preemptions: int = 0
+    failures: int = 0
 
     @property
     def queueing_delay(self) -> Optional[float]:
@@ -90,10 +125,10 @@ class JobRecord:
         return self.finish_time - self.arrival_time
 
     def throughput(self) -> float:
-        """Mean samples/second over the job's placed lifetime."""
-        if self.start_time is None or self.finish_time is None or self.finish_time <= self.start_time:
+        """Mean samples/second over the intervals the job was placed on GPUs."""
+        if self.placed_seconds <= 0.0:
             return 0.0
-        return self.samples_processed / (self.finish_time - self.start_time)
+        return self.samples_processed / self.placed_seconds
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -108,6 +143,13 @@ class JobRecord:
             "throughput": self.throughput(),
             "mean_iteration_seconds": (sum(self.iteration_seconds) / len(self.iteration_seconds)
                                        if self.iteration_seconds else 0.0),
+            "placed_seconds": self.placed_seconds,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "restores": self.restores,
+            "restore_seconds": self.restore_seconds,
+            "preemptions": self.preemptions,
+            "failures": self.failures,
         }
 
 
@@ -165,6 +207,7 @@ class ClusterScheduler:
 
         self._all_gpus: List[GPUDevice] = cluster.all_gpus()
         self._free: Dict[str, GPUDevice] = {gpu.name: gpu for gpu in self._all_gpus}
+        self._gpu_names = {gpu.name for gpu in self._all_gpus}
         self._jobs: Dict[str, SimJob] = {}
         self._allocations: Dict[str, List[GPUDevice]] = {}
         self._pending: List[str] = []
@@ -172,8 +215,14 @@ class ClusterScheduler:
         self._seq = 0
         #: Per-job schedule token; an iteration_done event is only honoured
         #: when its token matches, which drops in-flight iterations that a
-        #: resize invalidated and restarted.
+        #: resize/failure/preemption invalidated and restarted.
         self._iter_token: Dict[str, int] = {}
+        #: Fault-tolerance state: GPUs currently down, preempted jobs
+        #: awaiting resume, and jobs that must pay a checkpoint-restore read
+        #: before their next iteration.
+        self._failed_gpus: set = set()
+        self._paused: set = set()
+        self._needs_restore: set = set()
         self.records: Dict[str, JobRecord] = {}
         self.gpu_busy_seconds: Dict[str, float] = {gpu.name: 0.0 for gpu in self._all_gpus}
         self.trace: List[Dict[str, object]] = []
@@ -197,17 +246,61 @@ class ClusterScheduler:
         self.records[job.name] = JobRecord(name=job.name, arrival_time=job.arrival_time)
         self._push(job.arrival_time, "arrival", (job.name,))
 
+    def _require_gpu(self, gpu_name: str) -> str:
+        """Validate a GPU name at call time (events must not fire into the void)."""
+        gpu_name = str(gpu_name)
+        if gpu_name not in self._gpu_names:
+            raise KeyError(f"unknown GPU {gpu_name!r}; known: {sorted(self._gpu_names)}")
+        return gpu_name
+
+    def _require_job(self, job_name: str) -> str:
+        """Validate a job name at call time (the job must have been submitted)."""
+        job_name = str(job_name)
+        if job_name not in self._jobs:
+            raise KeyError(f"unknown job {job_name!r}; known: {sorted(self._jobs)}")
+        return job_name
+
     def set_gpu_speed(self, gpu_name: str, factor: float, at_time: float = 0.0) -> None:
         """Straggler / heterogeneous-GPU knob, applied at ``at_time``."""
         if factor <= 0:
             raise ValueError("speed factor must be positive")
-        self._push(at_time, "set_speed", (str(gpu_name), float(factor)))
+        self._push(at_time, "set_speed", (self._require_gpu(gpu_name), float(factor)))
 
     def resize_job(self, job_name: str, delta_workers: int, at_time: float) -> None:
-        """Elastic worker join (+) / leave (-) at ``at_time``."""
+        """Elastic worker join (+) / leave (-) at ``at_time``.
+
+        For jobs with ``checkpoint_every`` set, resizing is a *migration*:
+        the job writes a synchronized checkpoint and restores it on the new
+        worker set, both priced as link-bytes through the engine.
+        """
         if delta_workers == 0:
             raise ValueError("delta_workers must be non-zero")
-        self._push(at_time, "resize", (str(job_name), int(delta_workers)))
+        self._push(at_time, "resize", (self._require_job(job_name), int(delta_workers)))
+
+    def inject_failure(self, gpu_name: str, at_time: float,
+                       recover_at: Optional[float] = None) -> None:
+        """Take a GPU down at ``at_time`` (and optionally back up later).
+
+        Any job holding the GPU is descheduled: its other GPUs are released,
+        its progress rolls back to the last checkpoint (or to zero without
+        checkpointing) and it re-queues, paying a restore read when it is
+        placed again.
+        """
+        gpu_name = self._require_gpu(gpu_name)
+        if recover_at is not None and recover_at <= at_time:
+            raise ValueError("recover_at must come after at_time")
+        self._push(at_time, "gpu_fail", (gpu_name,))
+        if recover_at is not None:
+            self._push(recover_at, "gpu_recover", (gpu_name,))
+
+    def preempt_job(self, job_name: str, at_time: float) -> None:
+        """Preempt a running job at ``at_time``: its GPUs are released and it
+        stays paused (not queued) until :meth:`resume_job`."""
+        self._push(at_time, "preempt", (self._require_job(job_name),))
+
+    def resume_job(self, job_name: str, at_time: float) -> None:
+        """Move a preempted job back into the admission queue at ``at_time``."""
+        self._push(at_time, "resume", (self._require_job(job_name),))
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -248,15 +341,51 @@ class ClusterScheduler:
                 del self._free[gpu.name]
             self._allocations[job.name] = gpus
             record = self.records[job.name]
-            record.start_time = now
+            if record.start_time is None:
+                record.start_time = now
+            record.placed_since = now
             record.worker_names = [gpu.name for gpu in gpus]
             self._trace(now, "job_start", job=job.name, workers=record.worker_names)
-            self._schedule_iteration(job, now)
+            delay = 0.0
+            if job.name in self._needs_restore:
+                # Restore reads the *full* state (frozen prefix included) back
+                # over the new workers' uplinks before training continues.
+                self._needs_restore.discard(job.name)
+                restore_bytes = job.cost_model.checkpoint_bytes(
+                    frozen_prefix=job.prefix_at(record.iterations_done), incremental=False)
+                delay = self.engine.transfer_seconds(restore_bytes, gpus)
+                record.restores += 1
+                record.restore_seconds += delay
+                self._trace(now, "restore", job=job.name, seconds=delay,
+                            from_iteration=record.iterations_done)
+            self._schedule_iteration(job, now + delay)
 
     def _release(self, job_name: str, gpus: Sequence[GPUDevice], now: float) -> None:
         for gpu in gpus:
-            self._free[gpu.name] = gpu
+            if gpu.name not in self._failed_gpus:
+                self._free[gpu.name] = gpu
         self._trace(now, "gpus_released", job=job_name, workers=[g.name for g in gpus])
+
+    def _deschedule(self, job_name: str, now: float) -> List[GPUDevice]:
+        """Take a job off its GPUs: release them, invalidate the in-flight
+        iteration, roll progress back to the last checkpoint and close the
+        placed interval.  Returns the released GPUs."""
+        job = self._jobs[job_name]
+        record = self.records[job_name]
+        workers = self._allocations.pop(job_name)
+        self._release(job_name, workers, now)
+        self._iter_token[job_name] = self._iter_token.get(job_name, 0) + 1
+        if record.placed_since is not None:
+            record.placed_seconds += now - record.placed_since
+            record.placed_since = None
+        rollback_to = record.checkpoint_iteration if job.checkpoint_every else 0
+        if record.iterations_done > rollback_to:
+            record.iterations_done = rollback_to
+            record.samples_processed = record.samples_at_checkpoint if rollback_to > 0 else 0.0
+        if rollback_to > 0:
+            self._needs_restore.add(job_name)
+        record.worker_names = []
+        return workers
 
     # ------------------------------------------------------------------ #
     # Iteration advancement
@@ -285,9 +414,18 @@ class ClusterScheduler:
         finally:
             self.engine.comm_scale = 1.0
         duration = result.total
+        # Periodic checkpoint: the iteration that completes a checkpoint
+        # interval also writes the freezing-aware incremental snapshot (the
+        # active suffix only) over its workers' uplinks.
+        ckpt_seconds = 0.0
+        if job.checkpoint_every and (record.iterations_done + 1) % job.checkpoint_every == 0:
+            ckpt_bytes = job.cost_model.checkpoint_bytes(
+                frozen_prefix=job.prefix_at(record.iterations_done), incremental=True)
+            ckpt_seconds = self.engine.transfer_seconds(ckpt_bytes, workers)
+            duration += ckpt_seconds
         token = self._iter_token.get(job.name, 0) + 1
         self._iter_token[job.name] = token
-        self._push(now + duration, "iteration_done", (job.name, token, duration))
+        self._push(now + duration, "iteration_done", (job.name, token, duration, ckpt_seconds))
 
     # ------------------------------------------------------------------ #
     # Event loop
@@ -312,19 +450,29 @@ class ClusterScheduler:
                 self._trace(now, "arrival", job=job_name)
                 self._try_place(now)
             elif kind == "iteration_done":
-                job_name, token, duration = payload
+                job_name, token, duration, ckpt_seconds = payload
                 job = self._jobs[job_name]
                 record = self.records[job_name]
                 if token != self._iter_token.get(job_name) or job_name not in self._allocations:
-                    continue  # stale event from before a resize/finish
+                    continue  # stale event from before a resize/failure/preemption/finish
                 record.iterations_done += 1
                 record.iteration_seconds.append(duration)
                 workers = self._allocations[job_name]
                 record.samples_processed += job.cost_model.batch_size * len(workers)
                 for gpu in workers:
                     self.gpu_busy_seconds[gpu.name] += duration
+                if ckpt_seconds > 0.0:
+                    record.checkpoints_taken += 1
+                    record.checkpoint_seconds += ckpt_seconds
+                    record.checkpoint_iteration = record.iterations_done
+                    record.samples_at_checkpoint = record.samples_processed
+                    self._trace(now, "checkpoint", job=job_name,
+                                iteration=record.iterations_done, seconds=ckpt_seconds)
                 if record.iterations_done >= job.iterations:
                     record.finish_time = now
+                    if record.placed_since is not None:
+                        record.placed_seconds += now - record.placed_since
+                        record.placed_since = None
                     self._release(job_name, self._allocations.pop(job_name), now)
                     self._trace(now, "job_finish", job=job_name)
                     self._try_place(now)
@@ -337,6 +485,18 @@ class ClusterScheduler:
             elif kind == "resize":
                 job_name, delta = payload
                 self._apply_resize(job_name, delta, now)
+            elif kind == "gpu_fail":
+                (gpu_name,) = payload
+                self._apply_gpu_failure(gpu_name, now)
+            elif kind == "gpu_recover":
+                (gpu_name,) = payload
+                self._apply_gpu_recovery(gpu_name, now)
+            elif kind == "preempt":
+                (job_name,) = payload
+                self._apply_preemption(job_name, now)
+            elif kind == "resume":
+                (job_name,) = payload
+                self._apply_resume(job_name, now)
         return SchedulerResult(makespan=makespan, jobs=dict(self.records),
                                gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace))
 
@@ -345,7 +505,9 @@ class ClusterScheduler:
         if record is None or job_name not in self._allocations:
             self._trace(now, "resize_ignored", job=job_name, delta=delta)
             return
+        job = self._jobs[job_name]
         workers = self._allocations[job_name]
+        old_workers = list(workers)
         changed = False
         if delta < 0:
             releasable = min(-delta, len(workers) - 1)  # keep at least one worker
@@ -368,8 +530,81 @@ class ClusterScheduler:
                         workers=[gpu.name for gpu in workers])
         if not changed:
             return  # no-op resize: leave the in-flight iteration untouched
+        # The resized worker set is the job's size from here on — a later
+        # failure/preemption re-queues it at this size, not the submitted one.
+        job.num_workers = len(workers)
         record.worker_names = [gpu.name for gpu in workers]
         # The in-flight iteration (scheduled with the old worker set) is
         # invalidated; restart it under the new configuration.  Bumping the
         # schedule token in _schedule_iteration drops the stale event.
-        self._schedule_iteration(self._jobs[job_name], now)
+        #
+        # For checkpointed jobs a resize is a *migration*: the old worker set
+        # writes a synchronized incremental checkpoint and the new set reads
+        # the full state back before continuing — no iterations are lost, but
+        # both transfers are charged as link-bytes.
+        delay = 0.0
+        if job.checkpoint_every:
+            prefix = job.prefix_at(record.iterations_done)
+            write_seconds = self.engine.transfer_seconds(
+                job.cost_model.checkpoint_bytes(frozen_prefix=prefix, incremental=True), old_workers)
+            read_seconds = self.engine.transfer_seconds(
+                job.cost_model.checkpoint_bytes(frozen_prefix=prefix, incremental=False), workers)
+            delay = write_seconds + read_seconds
+            record.checkpoints_taken += 1
+            record.checkpoint_seconds += write_seconds
+            record.restores += 1
+            record.restore_seconds += read_seconds
+            record.checkpoint_iteration = record.iterations_done
+            record.samples_at_checkpoint = record.samples_processed
+            self._trace(now, "migrate", job=job_name, seconds=delay)
+        self._schedule_iteration(job, now + delay)
+
+    # ------------------------------------------------------------------ #
+    # Fault tolerance: failures, recovery, preemption
+    # ------------------------------------------------------------------ #
+    def _apply_gpu_failure(self, gpu_name: str, now: float) -> None:
+        self._failed_gpus.add(gpu_name)
+        self._free.pop(gpu_name, None)
+        self._trace(now, "gpu_failure", gpu=gpu_name)
+        victims = [name for name, gpus in self._allocations.items()
+                   if any(gpu.name == gpu_name for gpu in gpus)]
+        for job_name in victims:
+            record = self.records[job_name]
+            record.failures += 1
+            self._deschedule(job_name, now)
+            self._pending.append(job_name)
+            self._trace(now, "job_failed", job=job_name,
+                        restart_iteration=record.iterations_done)
+        if victims:
+            self._try_place(now)
+
+    def _apply_gpu_recovery(self, gpu_name: str, now: float) -> None:
+        if gpu_name not in self._failed_gpus:
+            self._trace(now, "gpu_recover_ignored", gpu=gpu_name)
+            return
+        self._failed_gpus.discard(gpu_name)
+        gpu = next(g for g in self._all_gpus if g.name == gpu_name)
+        self._free[gpu_name] = gpu
+        self._trace(now, "gpu_recovered", gpu=gpu_name)
+        self._try_place(now)
+
+    def _apply_preemption(self, job_name: str, now: float) -> None:
+        record = self.records.get(job_name)
+        if record is None or job_name not in self._allocations:
+            self._trace(now, "preempt_ignored", job=job_name)
+            return
+        record.preemptions += 1
+        self._deschedule(job_name, now)
+        self._paused.add(job_name)
+        self._trace(now, "job_preempted", job=job_name,
+                    restart_iteration=record.iterations_done)
+        self._try_place(now)
+
+    def _apply_resume(self, job_name: str, now: float) -> None:
+        if job_name not in self._paused:
+            self._trace(now, "resume_ignored", job=job_name)
+            return
+        self._paused.discard(job_name)
+        self._pending.append(job_name)
+        self._trace(now, "job_resumed", job=job_name)
+        self._try_place(now)

@@ -20,9 +20,10 @@ reports throughput (samples/second) — the metric Figure 10 plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from ..core.modules import LayerModule
+if TYPE_CHECKING:  # type-only: a runtime import would cycle through repro.core
+    from ..core.modules import LayerModule
 from .allreduce import AllReduceModel
 from .cluster import GPUDevice
 from .cost_model import CostModel

@@ -1,0 +1,518 @@
+"""Tests for the freezing-aware checkpoint & fault-tolerance subsystem."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CheckpointManager,
+    DirectoryBackend,
+    MemoryBackend,
+    join_state,
+    split_state,
+    tensor_digest,
+)
+from repro.core.modules import parse_layer_modules
+from repro.experiments import build_trainer, build_workload
+from repro.models import resnet8
+from repro.optim import SGD, Adam, AdamW, StepLR
+from repro.sim import ClusterScheduler, CostModel, SimJob, paper_testbed_cluster
+
+
+# --------------------------------------------------------------------------- #
+# Serialization
+# --------------------------------------------------------------------------- #
+class TestSerialization:
+    def test_digest_depends_on_content_shape_dtype(self):
+        a = np.arange(6, dtype=np.float32)
+        assert tensor_digest(a) == tensor_digest(a.copy())
+        assert tensor_digest(a) != tensor_digest(a.reshape(2, 3))
+        assert tensor_digest(a) != tensor_digest(a.astype(np.float64))
+        assert tensor_digest(a) != tensor_digest(a + 1)
+
+    def test_split_join_roundtrip(self):
+        state = {
+            "model": {"w": np.ones((2, 3), dtype=np.float32), "b": np.zeros(3, dtype=np.float32)},
+            "nested": {"list": [1, 2.5, "x", None, np.arange(4)]},
+            "scalar": np.float64(3.25),
+        }
+        tree, tensors = split_state(state)
+        # The tree is JSON-serializable and the scalar became a Python float.
+        json.dumps(tree)
+        assert tree["scalar"] == 3.25
+        restored = join_state(tree, lambda digest: tensors[digest])
+        assert np.array_equal(restored["model"]["w"], state["model"]["w"])
+        assert np.array_equal(restored["nested"]["list"][4], np.arange(4))
+
+    def test_identical_tensors_share_one_object(self):
+        shared = np.full((4, 4), 7.0, dtype=np.float32)
+        _tree, tensors = split_state({"a": shared, "b": shared.copy()})
+        assert len(tensors) == 1
+
+    def test_unsupported_leaf_raises(self):
+        with pytest.raises(TypeError):
+            split_state({"bad": object()})
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+@pytest.fixture(params=["memory", "directory"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBackend()
+    return DirectoryBackend(str(tmp_path / "store"))
+
+
+class TestBackends:
+    def test_object_dedup_and_roundtrip(self, backend):
+        array = np.random.default_rng(0).standard_normal((5, 5)).astype(np.float32)
+        digest = tensor_digest(array)
+        assert not backend.has_object(digest)
+        assert backend.write_object(digest, array) == array.nbytes
+        assert backend.has_object(digest)
+        # Re-writing the same digest is free (content-addressed dedup).
+        assert backend.write_object(digest, array) == 0
+        assert np.array_equal(backend.read_object(digest), array)
+
+    def test_manifest_roundtrip_and_order(self, backend):
+        backend.write_manifest("ckpt-0000000002", {"step": 2})
+        backend.write_manifest("ckpt-0000000001", {"step": 1})
+        assert backend.list_checkpoints() == ["ckpt-0000000001", "ckpt-0000000002"]
+        assert backend.read_manifest("ckpt-0000000002")["step"] == 2
+
+    def test_missing_keys_raise(self, backend):
+        with pytest.raises(KeyError):
+            backend.read_object("deadbeef")
+        with pytest.raises(KeyError):
+            backend.read_manifest("ckpt-nope")
+
+
+class TestDirectoryBackendAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "store"))
+        backend.write_object("abc", np.arange(10, dtype=np.float32))
+        backend.write_manifest("ckpt-0000000001", {"step": 1})
+        leftovers = [name for root, _dirs, files in os.walk(str(tmp_path))
+                     for name in files if name.startswith(".tmp_")]
+        assert leftovers == []
+
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "store")
+        manager = CheckpointManager(DirectoryBackend(root))
+        manager.save({"w": np.ones(3, dtype=np.float32), "step_count": 5}, step=1)
+        reopened = CheckpointManager(DirectoryBackend(root))
+        state = reopened.restore()
+        assert state["step_count"] == 5
+        assert np.array_equal(state["w"], np.ones(3, dtype=np.float32))
+
+
+# --------------------------------------------------------------------------- #
+# Manager
+# --------------------------------------------------------------------------- #
+class TestCheckpointManager:
+    def test_incremental_bytes_only_cover_changed_tensors(self):
+        manager = CheckpointManager(MemoryBackend())
+        frozen = np.ones((100,), dtype=np.float32)
+        active = np.zeros((50,), dtype=np.float32)
+        first = manager.save({"frozen": frozen, "active": active}, step=1)
+        assert first.bytes_written == frozen.nbytes + active.nbytes
+        # Only the active tensor changed: the frozen one deduplicates.
+        second = manager.save({"frozen": frozen, "active": active + 1}, step=2)
+        assert second.bytes_written == active.nbytes
+        assert second.payload_bytes == first.payload_bytes
+        assert second.num_new_tensors == 1
+
+    def test_restore_latest_and_named(self):
+        manager = CheckpointManager(MemoryBackend())
+        manager.save({"x": np.array([1.0], dtype=np.float32)}, step=1)
+        info = manager.save({"x": np.array([2.0], dtype=np.float32)}, step=2)
+        assert manager.latest() == info.checkpoint_id
+        assert manager.restore()["x"][0] == 2.0
+        assert manager.restore(manager.list_checkpoints()[0])["x"][0] == 1.0
+
+    def test_inspect_carries_meta_and_sections(self):
+        manager = CheckpointManager(MemoryBackend())
+        manager.save({"model": {"w": np.ones(4, dtype=np.float32)}, "iteration": 3},
+                     step=3, meta={"frozen_prefix": 2})
+        row = manager.inspect()
+        assert row["meta"]["frozen_prefix"] == 2
+        assert row["bytes_written_by_section"]["model"] == 16
+        assert manager.history() == [row]
+
+    def test_restore_empty_raises(self):
+        with pytest.raises(KeyError):
+            CheckpointManager(MemoryBackend()).restore()
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer / scheduler state round-trips
+# --------------------------------------------------------------------------- #
+def _train_steps(model, optimizer, steps=3, seed=0):
+    rng = np.random.default_rng(seed)
+    from repro.nn import Tensor
+
+    for _ in range(steps):
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)).astype(np.float32))
+        out = model(x)
+        out.sum().backward()
+        optimizer.step()
+        optimizer.zero_grad()
+
+
+@pytest.mark.parametrize("make_optimizer", [
+    lambda params: SGD(params, lr=0.05, momentum=0.9, weight_decay=1e-4),
+    lambda params: Adam(params, lr=1e-3),
+    lambda params: AdamW(params, lr=1e-3, weight_decay=0.01),
+])
+def test_optimizer_state_roundtrip_preserves_updates(make_optimizer):
+    model_a = resnet8(num_classes=4, width=0.5, seed=0)
+    opt_a = make_optimizer(model_a.parameters())
+    _train_steps(model_a, opt_a, steps=3)
+
+    # Clone into a fresh model/optimizer pair via the state dicts.
+    model_b = resnet8(num_classes=4, width=0.5, seed=1)
+    model_b.load_state_dict(model_a.state_dict())
+    opt_b = make_optimizer(model_b.parameters())
+    opt_b.load_state_dict(opt_a.state_dict())
+    assert opt_b.step_count == opt_a.step_count
+
+    # The next updates must coincide exactly (same moments, same velocity).
+    _train_steps(model_a, opt_a, steps=2, seed=7)
+    _train_steps(model_b, opt_b, steps=2, seed=7)
+    for (key, value_a), value_b in zip(model_a.state_dict().items(), model_b.state_dict().values()):
+        assert np.array_equal(value_a, value_b), key
+
+
+def test_lr_scheduler_state_roundtrip():
+    model = resnet8(num_classes=4, width=0.5, seed=0)
+    optimizer = SGD(model.parameters(), lr=0.4)
+    scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+    for epoch in range(5):
+        scheduler.step(epoch)
+    state = scheduler.state_dict()
+
+    optimizer2 = SGD(model.parameters(), lr=0.4)
+    scheduler2 = StepLR(optimizer2, step_size=2, gamma=0.1)
+    scheduler2.load_state_dict(state)
+    assert scheduler2.last_epoch == scheduler.last_epoch
+    assert optimizer2.lr == optimizer.lr
+
+
+# --------------------------------------------------------------------------- #
+# Trainer checkpoint -> restore -> train bit-exactness
+# --------------------------------------------------------------------------- #
+def _history_rows(history):
+    return [(r.epoch, r.train_loss, r.metric, r.simulated_time, r.learning_rate,
+             r.frozen_fraction, r.cached_fp) for r in history.records]
+
+
+@pytest.mark.parametrize("system,total_epochs,resume_epoch", [
+    ("vanilla", 6, 3),
+    ("egeria", 8, 4),
+])
+def test_trainer_resume_is_bit_exact(system, total_epochs, resume_epoch):
+    """Restoring mid-run reproduces the uninterrupted run's exact trajectory.
+
+    The Egeria variant checkpoints *before* the first freeze fires, so the
+    restored run must also reproduce the same freezing decisions afterwards.
+    """
+    workload = build_workload("resnet56_cifar10", scale="tiny", seed=0)
+
+    uninterrupted = build_trainer(system, workload)
+    full_history = uninterrupted.fit(total_epochs)
+    full_timeline = (uninterrupted.freezing_timeline()
+                     if hasattr(uninterrupted, "freezing_timeline") else [])
+    if hasattr(uninterrupted, "close"):
+        uninterrupted.close()
+
+    manager = CheckpointManager(MemoryBackend())
+    first_leg = build_trainer(system, workload)
+    first_leg.configure_checkpointing(manager, checkpoint_every=resume_epoch)
+    first_leg.fit(resume_epoch)
+    if hasattr(first_leg, "close"):
+        first_leg.close()
+    assert manager.latest() is not None
+
+    resumed = build_trainer(system, workload)
+    resumed.configure_checkpointing(manager)
+    resumed.restore()
+    resumed_history = resumed.fit(total_epochs)
+    resumed_timeline = (resumed.freezing_timeline()
+                        if hasattr(resumed, "freezing_timeline") else [])
+    if hasattr(resumed, "close"):
+        resumed.close()
+
+    assert _history_rows(resumed_history) == _history_rows(full_history)
+    assert resumed_timeline == full_timeline
+
+
+def test_egeria_resume_after_freeze_keeps_frozen_state():
+    """Checkpointing *after* modules froze restores the frozen prefix, the
+    BatchNorm inference mode and the monitored-module cursor."""
+    workload = build_workload("resnet56_cifar10", scale="tiny", seed=0)
+    manager = CheckpointManager(MemoryBackend())
+    trainer = build_trainer("egeria", workload)
+    trainer.configure_checkpointing(manager, checkpoint_every=6)
+    trainer.fit(6)
+    frozen_before = trainer.engine.num_frozen()
+    frontmost_before = trainer.engine.frontmost_active
+    trainer.close()
+    assert frozen_before > 0, "scenario needs at least one frozen module by epoch 6"
+
+    resumed = build_trainer("egeria", workload)
+    resumed.configure_checkpointing(manager)
+    resumed.restore()
+    assert resumed.engine.num_frozen() == frozen_before
+    assert resumed.engine.frontmost_active == frontmost_before
+    assert resumed.frozen_prefix() == frozen_before
+    # Frozen modules' BatchNorm layers run in inference mode (cache validity).
+    from repro.nn.layers import BatchNorm2d
+
+    for layer_module in resumed.engine.frozen_modules():
+        for block in layer_module.blocks:
+            for submodule in block.modules():
+                if isinstance(submodule, BatchNorm2d):
+                    assert not submodule.training
+    resumed.close()
+
+
+def test_dropout_rng_streams_are_checkpointed():
+    """Per-layer Dropout generators resume mid-stream, not from their seed."""
+    from repro import nn
+    from repro.core.trainer import _capture_module_rng_states, _restore_module_rng_states
+
+    class Net(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.drop_a = nn.Dropout(p=0.5, seed=1)
+            self.drop_b = nn.Dropout(p=0.5, seed=2)
+
+        def forward(self, x):
+            return self.drop_b(self.drop_a(x))
+
+    model = Net()
+    x = np.ones((4, 8), dtype=np.float32)
+    # Advance both streams past their seed position.
+    model.drop_a._rng.random(17)
+    model.drop_b._rng.random(3)
+    states = _capture_module_rng_states(model)
+    assert set(states) == {"drop_a", "drop_b"}
+    expected_a = model.drop_a._rng.random(5).tolist()
+    expected_b = model.drop_b._rng.random(5).tolist()
+
+    # A fresh model restarts from the seeds; restoring must resume mid-stream.
+    twin = Net()
+    assert twin.drop_a._rng.random(5).tolist() != expected_a
+    twin = Net()
+    _restore_module_rng_states(twin, states)
+    assert twin.drop_a._rng.random(5).tolist() == expected_a
+    assert twin.drop_b._rng.random(5).tolist() == expected_b
+    del x
+
+
+def test_trainer_state_dict_includes_module_rng():
+    workload = build_workload("bert_squad", scale="tiny", seed=0)
+    trainer = build_trainer("vanilla", workload)
+    state = trainer.state_dict()
+    # BERT's encoder layers carry Dropout modules with per-layer generators.
+    assert state["module_rng"], "expected per-module RNG streams in the snapshot"
+
+
+def test_checkpoint_bytes_shrink_as_prefix_advances():
+    """Model+optimizer checkpoint bytes fall monotonically with the prefix."""
+    workload = build_workload("resnet56_cifar10", scale="tiny", seed=0)
+    manager = CheckpointManager(MemoryBackend())
+    trainer = build_trainer("egeria", workload)
+    trainer.configure_checkpointing(manager, checkpoint_every=1)
+    trainer.fit(workload.num_epochs)
+    trainer.close()
+
+    best_by_prefix = {}
+    for info in manager.history():
+        sections = info["bytes_written_by_section"]
+        core = sections.get("model", 0) + sections.get("optimizer", 0)
+        prefix = info["meta"]["frozen_prefix"]
+        best_by_prefix[prefix] = min(best_by_prefix.get(prefix, core), core)
+    prefixes = sorted(best_by_prefix)
+    assert len(prefixes) >= 2, "scenario needs the prefix to advance"
+    for smaller, larger in zip(prefixes, prefixes[1:]):
+        assert best_by_prefix[larger] < best_by_prefix[smaller]
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler fault tolerance
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def sim_cost_model():
+    workload = build_workload("resnet50_imagenet", scale="tiny", seed=0)
+    modules = parse_layer_modules(workload.make_model())
+    return CostModel(modules, batch_size=workload.batch_size)
+
+
+class TestSchedulerValidation:
+    def test_unknown_gpu_rejected_at_call_time(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster())
+        with pytest.raises(KeyError):
+            scheduler.set_gpu_speed("node9:gpu9", 0.5)
+        with pytest.raises(KeyError):
+            scheduler.inject_failure("node9:gpu9", at_time=1.0)
+
+    def test_unknown_job_rejected_at_call_time(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster())
+        with pytest.raises(KeyError):
+            scheduler.resize_job("ghost", -1, at_time=1.0)
+        with pytest.raises(KeyError):
+            scheduler.preempt_job("ghost", at_time=1.0)
+        with pytest.raises(KeyError):
+            scheduler.resume_job("ghost", at_time=1.0)
+
+    def test_bad_checkpoint_interval_rejected(self, sim_cost_model):
+        with pytest.raises(ValueError):
+            SimJob("bad", sim_cost_model, checkpoint_every=0)
+
+
+class TestFailureInjection:
+    def _nominal_iteration(self, scheduler, sim_cost_model, machines=2, gpus=2):
+        cluster = scheduler.cluster
+        return scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=cluster.workers(machines, gpus)).total
+
+    def _run(self, sim_cost_model, checkpoint_every, iterations=20):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), placement="fifo", seed=0)
+        scheduler.submit(SimJob("job", sim_cost_model, num_workers=4, iterations=iterations,
+                                checkpoint_every=checkpoint_every))
+        nominal = self._nominal_iteration(scheduler, sim_cost_model)
+        scheduler.inject_failure("node0:gpu0", at_time=nominal * iterations * 0.7)
+        return scheduler.run()
+
+    def test_resume_from_checkpoint_beats_scratch(self, sim_cost_model):
+        with_ckpt = self._run(sim_cost_model, checkpoint_every=4)
+        scratch = self._run(sim_cost_model, checkpoint_every=None)
+        assert with_ckpt.jobs["job"].iterations_done == 20
+        assert scratch.jobs["job"].iterations_done == 20
+        assert with_ckpt.jobs["job"].checkpoints_taken > 0
+        assert with_ckpt.jobs["job"].restores == 1
+        assert with_ckpt.jobs["job"].restore_seconds > 0.0
+        assert scratch.jobs["job"].restores == 0
+        assert with_ckpt.makespan < scratch.makespan
+
+    def test_failure_is_deterministic(self, sim_cost_model):
+        first = self._run(sim_cost_model, checkpoint_every=4)
+        second = self._run(sim_cost_model, checkpoint_every=4)
+        assert first.as_dict() == second.as_dict()
+
+    def test_failed_gpu_not_reallocated_until_recovery(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), placement="fifo", seed=0)
+        scheduler.submit(SimJob("job", sim_cost_model, num_workers=4, iterations=10,
+                                checkpoint_every=3))
+        nominal = self._nominal_iteration(scheduler, sim_cost_model)
+        scheduler.inject_failure("node0:gpu0", at_time=nominal * 5,
+                                 recover_at=nominal * 8)
+        result = scheduler.run()
+        record = result.jobs["job"]
+        assert record.failures == 1
+        assert record.iterations_done == 10
+        assert "node0:gpu0" not in record.worker_names or record.finish_time >= nominal * 8
+
+    def test_recover_before_fail_rejected(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster())
+        with pytest.raises(ValueError):
+            scheduler.inject_failure("node0:gpu0", at_time=2.0, recover_at=1.0)
+
+    def test_failure_after_resize_requeues_at_resized_width(self, sim_cost_model):
+        """A job shrunk by an elastic resize must not regrow on re-placement,
+        and the from-scratch restart must reset its sample credit exactly."""
+        batch = sim_cost_model.batch_size
+        iterations = 20
+        scheduler = ClusterScheduler(paper_testbed_cluster(), placement="fifo", seed=0)
+        scheduler.submit(SimJob("job", sim_cost_model, num_workers=4, iterations=iterations))
+        nominal = self._nominal_iteration(scheduler, sim_cost_model)
+        scheduler.resize_job("job", -3, at_time=nominal * 2.5)      # 4 -> 1 worker
+        single = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(1, 1)).total
+        scheduler.inject_failure("node0:gpu0", at_time=nominal * 2.5 + single * 8.2)
+        record = scheduler.run().jobs["job"]
+        assert record.failures == 1
+        assert record.iterations_done == iterations
+        # Re-placed at the resized width (1 worker), not the submitted 4.
+        assert len(record.worker_names) == 1
+        # Without checkpoints the restart is from scratch: every final honored
+        # iteration ran at width 1, so the credit is exactly batch * 1 * N —
+        # no phantom samples left over from the pre-failure width-4 epoch.
+        assert record.samples_processed == batch * 1 * iterations
+
+
+class TestPreemption:
+    def test_preempt_resume_completes_and_excludes_paused_interval(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), seed=0)
+        scheduler.submit(SimJob("p", sim_cost_model, num_workers=2, iterations=10,
+                                checkpoint_every=3))
+        nominal = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(1, 2)).total
+        scheduler.preempt_job("p", at_time=nominal * 4.5)
+        scheduler.resume_job("p", at_time=nominal * 9)
+        record = scheduler.run().jobs["p"]
+        assert record.iterations_done == 10
+        assert record.preemptions == 1
+        assert record.restores == 1
+        # Throughput counts only placed intervals, not the paused gap.
+        span = record.finish_time - record.start_time
+        assert record.placed_seconds < span
+        assert record.throughput() == pytest.approx(record.samples_processed / record.placed_seconds)
+
+    def test_rollback_restores_exact_sample_watermark(self, sim_cost_model):
+        """Rolling back to a checkpoint restores the samples_processed
+        watermark; re-running the lost iterations re-credits them once."""
+        batch = sim_cost_model.batch_size
+        scheduler = ClusterScheduler(paper_testbed_cluster(), seed=0)
+        scheduler.submit(SimJob("p", sim_cost_model, num_workers=2, iterations=9,
+                                checkpoint_every=3))
+        nominal = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(1, 2)).total
+        scheduler.preempt_job("p", at_time=nominal * 5.2)
+        scheduler.resume_job("p", at_time=nominal * 6)
+        record = scheduler.run().jobs["p"]
+        assert record.iterations_done == 9
+        assert record.samples_processed == batch * 2 * 9
+
+    def test_rollback_to_last_checkpoint(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), seed=0)
+        scheduler.submit(SimJob("p", sim_cost_model, num_workers=2, iterations=9,
+                                checkpoint_every=3))
+        nominal = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(1, 2)).total
+        # Preempt between checkpoints (after ~iteration 5, checkpoints at 3/6/9)
+        scheduler.preempt_job("p", at_time=nominal * 5.2)
+        scheduler.resume_job("p", at_time=nominal * 6)
+        record = scheduler.run().jobs["p"]
+        assert record.iterations_done == 9
+        # The rollback re-ran iterations 4-5: more than 9 iteration completions.
+        assert len(record.iteration_seconds) > 9
+
+
+class TestMigration:
+    def test_resize_charges_checkpoint_and_restore(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), seed=0)
+        scheduler.submit(SimJob("m", sim_cost_model, num_workers=4, iterations=10,
+                                checkpoint_every=100))  # periodic ckpt never fires
+        nominal = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(2, 2)).total
+        scheduler.resize_job("m", -2, at_time=nominal * 4.5)
+        record = scheduler.run().jobs["m"]
+        assert record.iterations_done == 10
+        # Migration wrote a synchronized checkpoint and restored on 2 workers.
+        assert record.checkpoints_taken == 1
+        assert record.restores == 1
+        assert record.checkpoint_seconds > 0.0 and record.restore_seconds > 0.0
+
+    def test_uncheckpointed_resize_stays_free(self, sim_cost_model):
+        scheduler = ClusterScheduler(paper_testbed_cluster(), seed=0)
+        scheduler.submit(SimJob("m", sim_cost_model, num_workers=4, iterations=10))
+        nominal = scheduler.engine.simulate_iteration(
+            sim_cost_model, workers=scheduler.cluster.workers(2, 2)).total
+        scheduler.resize_job("m", -2, at_time=nominal * 4.5)
+        record = scheduler.run().jobs["m"]
+        assert record.checkpoints_taken == 0 and record.restores == 0

@@ -24,6 +24,66 @@ class TestParser:
         assert args.scale == "tiny"
 
 
+class TestCkptParser:
+    def test_ckpt_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ckpt"])
+
+    def test_ckpt_save_parses(self):
+        args = build_parser().parse_args(
+            ["ckpt", "save", "--workload", "resnet56_cifar10", "--dir", "/tmp/x", "--every", "2"])
+        assert args.command == "ckpt" and args.ckpt_command == "save"
+        assert args.every == 2 and args.system == "egeria"
+
+    def test_ckpt_inspect_parses(self):
+        args = build_parser().parse_args(["ckpt", "inspect", "--dir", "/tmp/x"])
+        assert args.ckpt_command == "inspect" and args.id is None
+
+    def test_ckpt_restore_accepts_every(self):
+        args = build_parser().parse_args(
+            ["ckpt", "restore", "--workload", "resnet56_cifar10", "--dir", "/tmp/x", "--every", "3"])
+        assert args.ckpt_command == "restore" and args.every == 3
+
+
+class TestCkptCommands:
+    def test_save_inspect_restore_roundtrip(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "store")
+        code = main(["ckpt", "save", "--workload", "resnet56_cifar10", "--system", "vanilla",
+                     "--epochs", "2", "--every", "1", "--dir", ckpt_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 checkpoints" in out
+
+        assert main(["ckpt", "inspect", "--dir", ckpt_dir]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-" in out and "written" in out
+
+        code = main(["ckpt", "restore", "--workload", "resnet56_cifar10", "--system", "vanilla",
+                     "--epochs", "3", "--dir", ckpt_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed vanilla" in out
+
+    def test_restore_rejects_wrong_system(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "store")
+        assert main(["ckpt", "save", "--workload", "resnet56_cifar10", "--system", "vanilla",
+                     "--epochs", "1", "--dir", ckpt_dir]) == 0
+        capsys.readouterr()
+        code = main(["ckpt", "restore", "--workload", "resnet56_cifar10", "--system", "egeria",
+                     "--epochs", "2", "--dir", ckpt_dir])
+        assert code == 2
+        assert "saved by system" in capsys.readouterr().err
+
+    def test_restore_past_target_is_noop(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "store")
+        assert main(["ckpt", "save", "--workload", "resnet56_cifar10", "--system", "vanilla",
+                     "--epochs", "2", "--dir", ckpt_dir]) == 0
+        capsys.readouterr()
+        assert main(["ckpt", "restore", "--workload", "resnet56_cifar10", "--system", "vanilla",
+                     "--epochs", "2", "--dir", ckpt_dir]) == 0
+        assert "nothing to resume" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_list_runs(self, capsys):
         assert main(["list"]) == 0

@@ -1,12 +1,14 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import PlasticityTracker, SPSCQueue, moving_average, similarity_matrix, sp_loss, windowed_slope
 from repro.core.modules import LayerModule
 from repro.data import DataLoader, make_dataset
+from repro.models.registry import WORKLOADS
 from repro.nn import Tensor
 from repro.nn.tensor import _unbroadcast
 from repro.quantization import INT8, fake_quantize
@@ -129,6 +131,34 @@ def test_quantization_preserves_sign(seed):
     quantized = fake_quantize(x, INT8)
     big = np.abs(x) > np.abs(x).max() * 0.1
     assert np.all(np.sign(quantized[big]) == np.sign(x[big]))
+
+
+# --------------------------------------------------------------------------- #
+# state_dict round-trip across every registry model (checkpoint correctness)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=3, deadline=None)
+def test_model_state_dict_roundtrip_exact(workload_name, seed):
+    """Arbitrary perturbed states load back bit-exactly into a twin model.
+
+    This is the foundation of the checkpoint subsystem's bit-exact resume:
+    ``load_state_dict(state_dict())`` must be the identity for every model
+    the registry can train, including buffers (BatchNorm statistics).
+    """
+    spec = WORKLOADS[workload_name]
+    model = spec.model_factory()
+    rng = np.random.default_rng(seed)
+    perturbed = {key: (value + rng.standard_normal(value.shape).astype(value.dtype)
+                       if np.issubdtype(value.dtype, np.floating) else value)
+                 for key, value in model.state_dict().items()}
+
+    twin = spec.model_factory()
+    twin.load_state_dict(perturbed)
+    roundtripped = twin.state_dict()
+    assert set(roundtripped) == set(perturbed)
+    for key, value in perturbed.items():
+        assert np.array_equal(roundtripped[key], np.asarray(value, dtype=roundtripped[key].dtype)), key
 
 
 # --------------------------------------------------------------------------- #
