@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Bench-regression gate: compare a pytest-benchmark artifact to a baseline.
+
+CI runs the bench-smoke subset with ``--benchmark-json=bench-smoke.json`` and
+then calls this script to compare the artifact against the committed
+baseline (``benchmarks/bench_baseline.json``):
+
+* every benchmark present in the baseline must still exist (a silently
+  dropped benchmark is a regression in coverage);
+* no benchmark's mean time may exceed ``baseline_mean * tolerance``.
+
+The tolerance is deliberately coarse (CI machines vary widely); the gate is
+a smoke alarm for order-of-magnitude blowups — e.g. an accidental O(n^2)
+hot loop — not a precision performance tracker.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py bench-smoke.json \
+        --baseline benchmarks/bench_baseline.json --tolerance 10
+
+    # refresh the committed baseline from a fresh local artifact
+    python benchmarks/check_bench_regression.py bench-smoke.json \
+        --baseline benchmarks/bench_baseline.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """``fullname -> mean seconds`` from a pytest-benchmark JSON artifact
+    (or from a baseline file previously written by ``--update-baseline``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks", [])
+    if isinstance(benchmarks, dict):  # simplified baseline layout
+        return {str(name): float(mean) for name, mean in benchmarks.items()}
+    return {entry["fullname"]: float(entry["stats"]["mean"]) for entry in benchmarks}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON artifact to check")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed mean-time ratio vs baseline (default 10x)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current artifact and exit")
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    if not current:
+        print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        payload = {"format": "repro.bench_baseline/1",
+                   "tolerance_hint": args.tolerance,
+                   "benchmarks": {name: current[name] for name in sorted(current)}}
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {len(current)} benchmarks -> {args.baseline}")
+        return 0
+
+    baseline = load_means(args.baseline)
+    if not baseline:
+        print(f"error: empty baseline {args.baseline}", file=sys.stderr)
+        return 2
+
+    missing = sorted(set(baseline) - set(current))
+    regressions = []
+    print(f"{'benchmark':<72} {'base':>10} {'now':>10} {'ratio':>7}")
+    for name in sorted(baseline):
+        if name in missing:
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        flag = " <-- REGRESSION" if ratio > args.tolerance else ""
+        print(f"{name:<72} {baseline[name]:>10.4g} {current[name]:>10.4g} {ratio:>6.2f}x{flag}")
+        if ratio > args.tolerance:
+            regressions.append((name, ratio))
+
+    ok = True
+    if missing:
+        ok = False
+        print(f"\nFAIL: {len(missing)} baseline benchmark(s) missing from the artifact:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+    if regressions:
+        ok = False
+        print(f"\nFAIL: {len(regressions)} benchmark(s) exceed {args.tolerance}x the baseline mean:",
+              file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  - {name}: {ratio:.2f}x", file=sys.stderr)
+    if ok:
+        new_benchmarks = sorted(set(current) - set(baseline))
+        if new_benchmarks:
+            print(f"\nnote: {len(new_benchmarks)} new benchmark(s) not yet in the baseline "
+                  f"(run --update-baseline to include them)")
+        print(f"\nOK: {len(baseline)} benchmarks within {args.tolerance}x of the baseline")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,25 @@ hoc alternative), reference-model quantization, activation cache store/load,
 and the ring all-reduce cost model.
 """
 
+import heapq
+
 import numpy as np
 import pytest
 
 from repro import models
 from repro.analysis import pwcca_distance
 from repro.core import ActivationCache, sp_loss
+from repro.core.modules import LayerModule
 from repro.core.reference import ReferenceModel
 from repro.quantization import INT8, fake_quantize
-from repro.sim import AllReduceModel, paper_testbed_cluster
+from repro.sim import (
+    AllReduceModel,
+    Cluster,
+    ClusterSpec,
+    CostModel,
+    EventDrivenEngine,
+    paper_testbed_cluster,
+)
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +94,76 @@ def test_allreduce_model_speed(benchmark):
     workers = cluster.workers(num_machines=5, gpus_per_machine=2)
     seconds = benchmark(allreduce.allreduce_seconds, 25_000_000 * 4, workers)
     assert seconds > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Event-engine hot loop on a wide, deep configuration
+# --------------------------------------------------------------------------- #
+def _deep_cost_model(num_modules=96, params_per_module=5000, batch_size=16):
+    modules = [LayerModule(name=f"m{i}", paths=[], blocks=[], num_params=params_per_module,
+                           index=i) for i in range(num_modules)]
+    return CostModel(modules, batch_size=batch_size)
+
+
+def test_event_engine_wide_hot_loop(benchmark):
+    """Hot-loop cost of one iteration on 64 workers x 96 modules.
+
+    This is the configuration the bucket-queue perf fix targets: tens of
+    thousands of segment events and ~100 pending gradient buckets per
+    iteration.  The pending-bucket queue is a heap — popping the next bucket
+    is O(log n) instead of re-sorting the whole list on every arrival.
+    """
+    cluster = Cluster(ClusterSpec(num_machines=32, gpus_per_machine=2))
+    engine = EventDrivenEngine(cluster)
+    cost_model = _deep_cost_model()
+    workers = cluster.workers(num_machines=32, gpus_per_machine=2)
+
+    result = benchmark.pedantic(
+        lambda: engine.simulate_iteration(cost_model, workers=workers),
+        rounds=3, iterations=1)
+    # 64 workers x (96 forward + 96 backward) segments plus bucket traffic.
+    assert result.num_events > 64 * 96 * 2
+    assert result.communication > 0.0
+
+
+def test_bucket_heap_beats_resort():
+    """The heap-backed bucket queue outperforms sort-on-every-arrival.
+
+    Replays the engine's exact access pattern — push one ready bucket, pop
+    the minimum — over a long arrival stream, comparing the old
+    ``list.sort() + pop(0)`` discipline against the heap.  The margin is
+    orders of magnitude at this size, so the assertion is timing-robust.
+    """
+    import time
+
+    # Buckets become ready faster than the link drains them (the wide-model
+    # regime): push two arrivals per pop, then drain — the pending queue
+    # grows to ~n/2 before it empties.
+    arrivals = [((i * 7919) % 104729, i) for i in range(4000)]
+
+    start = time.perf_counter()
+    pending = []
+    sorted_order = []
+    for index, item in enumerate(arrivals):
+        pending.append(item)
+        pending.sort()
+        if index % 2:
+            sorted_order.append(pending.pop(0))
+    while pending:
+        pending.sort()
+        sorted_order.append(pending.pop(0))
+    resort_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    heap = []
+    heap_order = []
+    for index, item in enumerate(arrivals):
+        heapq.heappush(heap, item)
+        if index % 2:
+            heap_order.append(heapq.heappop(heap))
+    while heap:
+        heap_order.append(heapq.heappop(heap))
+    heap_seconds = time.perf_counter() - start
+
+    assert heap_order == sorted_order  # identical scheduling decisions
+    assert heap_seconds < resort_seconds

@@ -18,11 +18,17 @@ Four subcommands mirror the typical workflows:
     snapshots into an atomic directory store, ``inspect`` prints each
     checkpoint's (incremental) byte footprint, and ``restore`` resumes
     training bit-exactly from the latest (or a named) checkpoint.
+
+``python -m repro.cli sim run scenario.json [--out result.json]``
+    Replay a cluster scenario (jobs, shared link/storage resources,
+    failures, resizes) through the event-driven simulator and emit the
+    deterministic timeline/makespan report as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -36,6 +42,7 @@ from .experiments import (
     format_rows,
     run_trainer,
 )
+from .sim import run_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -89,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = ckpt_sub.add_parser("inspect", help="print the stored checkpoints and their byte footprint")
     inspect.add_argument("--dir", required=True)
     inspect.add_argument("--id", default=None, help="inspect one checkpoint (default: all)")
+
+    sim = subparsers.add_parser("sim", help="cluster-simulation utilities")
+    sim_sub = sim.add_subparsers(dest="sim_command", required=True)
+    sim_run = sim_sub.add_parser("run", help="replay a scenario JSON to a timeline/makespan report")
+    sim_run.add_argument("scenario", help="path to the scenario JSON file")
+    sim_run.add_argument("--out", default=None, help="write the report here instead of stdout")
+    sim_run.add_argument("--trace", action="store_true", help="include the full scheduler trace")
     return parser
 
 
@@ -190,6 +204,23 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    try:
+        report = run_scenario(args.scenario, include_trace=args.trace)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}: makespan {report['makespan']:.6f}s, "
+              f"{report['num_jobs']} jobs, {report['num_trace_events']} events")
+    else:
+        print(payload)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -201,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "ckpt":
         return _cmd_ckpt(args)
+    if args.command == "sim":
+        return _cmd_sim(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -20,8 +20,10 @@ from .figures import (
     run_freezing_replay,
     run_multijob_cluster,
     run_overhead_analysis,
+    run_storage_contention,
     run_table1_tta,
     run_table2_reference_precision,
+    run_trainer_backed_job,
 )
 from .runners import SYSTEMS, ComparisonRow, build_trainer, compare_systems, format_rows, run_trainer
 from .workloads import SCALES, Workload, available_workloads, build_workload
@@ -49,6 +51,8 @@ __all__ = [
     "run_freezing_replay",
     "run_checkpoint_overhead",
     "run_fault_tolerance",
+    "run_storage_contention",
+    "run_trainer_backed_job",
     "run_fig11_freezing_decisions",
     "run_fig12_hyperparameters",
     "run_overhead_analysis",

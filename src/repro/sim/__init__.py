@@ -10,6 +10,14 @@ Substitutes the paper's GPU testbed.  Two simulation paths coexist:
   cluster graph, expressing stragglers, heterogeneous GPUs, multi-job
   sharing and elastic worker membership.
 
+Cross-job contention is a first-class concept: clusters carry named
+finite-bandwidth :class:`SharedResource` s (the leaf–spine fabric, the
+checkpoint storage target) whose :class:`ResourceTimeline` FIFO queues
+serialize concurrent jobs' all-reduce buckets and checkpoint transfers.
+:class:`TrainerJob` runs a *real* trainer inside the simulated cluster, and
+:func:`run_scenario` replays a plain-JSON scenario to a deterministic
+timeline/makespan report (the ``repro sim run`` CLI).
+
 The closed-form path is validated against the engine to within 5% on the
 single-job configurations (see ``EventDrivenEngine.closed_form_deviation``).
 """
@@ -18,8 +26,11 @@ from .allreduce import AllReduceModel
 from .cluster import Cluster, ClusterSpec, GPUDevice, Machine, paper_testbed_cluster, single_node_cluster
 from .cost_model import CostModel, GPUSpec, IterationBreakdown
 from .engine import EngineIterationResult, EventDrivenEngine, EventQueue, SimEvent
+from .resources import ResourceOccupancy, ResourcePool, ResourceTimeline, SharedResource
+from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
+from .trainer_job import TrainerJob
 
 __all__ = [
     "CostModel",
@@ -41,6 +52,13 @@ __all__ = [
     "SimEvent",
     "ClusterScheduler",
     "SimJob",
+    "TrainerJob",
     "JobRecord",
     "SchedulerResult",
+    "SharedResource",
+    "ResourceOccupancy",
+    "ResourceTimeline",
+    "ResourcePool",
+    "build_scenario",
+    "run_scenario",
 ]

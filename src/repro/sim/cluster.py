@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from .resources import SharedResource
+
 __all__ = ["GPUDevice", "Machine", "ClusterSpec", "Cluster", "paper_testbed_cluster", "single_node_cluster"]
 
 
@@ -48,7 +50,13 @@ class Machine:
 
 @dataclass
 class ClusterSpec:
-    """Counts and link speeds describing a cluster."""
+    """Counts and link speeds describing a cluster.
+
+    ``fabric_gbps``/``storage_gbps`` size the two default shared resources
+    (the leaf–spine fabric crossed by multi-machine all-reduce and the
+    checkpoint storage target); ``None`` derives them from the ToR uplink
+    and NIC speeds respectively.
+    """
 
     num_machines: int = 5
     gpus_per_machine: int = 2
@@ -56,10 +64,25 @@ class ClusterSpec:
     tor_uplink_gbps: float = 100.0
     num_tor_switches: int = 2
     num_core_switches: int = 2
+    fabric_gbps: Optional[float] = None
+    storage_gbps: Optional[float] = None
 
 
 class Cluster:
-    """Leaf–spine cluster graph with bandwidth-annotated links."""
+    """Leaf–spine cluster graph with bandwidth-annotated links.
+
+    Besides the topology graph, the cluster registers **named shared
+    resources** — finite-bandwidth links and storage targets that concurrent
+    jobs queue on (see :mod:`repro.sim.resources`).  Two defaults exist on
+    every cluster: :data:`Cluster.FABRIC` (the leaf–spine fabric every
+    multi-machine all-reduce crosses) and :data:`Cluster.CKPT_STORAGE` (the
+    checkpoint target all jobs write snapshots to).
+    """
+
+    #: Default shared-link resource name (the leaf–spine fabric).
+    FABRIC = "fabric"
+    #: Default shared-storage resource name (the checkpoint target).
+    CKPT_STORAGE = "ckpt-store"
 
     def __init__(self, spec: Optional[ClusterSpec] = None):
         self.spec = spec or ClusterSpec()
@@ -69,6 +92,30 @@ class Cluster:
         ]
         self.graph = nx.Graph()
         self._build_topology()
+        self.resources: Dict[str, SharedResource] = {}
+        self._build_default_resources()
+
+    def _build_default_resources(self) -> None:
+        spec = self.spec
+        self.add_resource(SharedResource(
+            name=self.FABRIC,
+            bandwidth_gbps=spec.fabric_gbps if spec.fabric_gbps is not None else spec.tor_uplink_gbps,
+            kind="link",
+            latency_seconds=50e-6,
+        ))
+        self.add_resource(SharedResource(
+            name=self.CKPT_STORAGE,
+            bandwidth_gbps=spec.storage_gbps if spec.storage_gbps is not None else spec.nic_gbps,
+            kind="storage",
+            latency_seconds=100e-6,
+        ))
+
+    def add_resource(self, resource: SharedResource) -> SharedResource:
+        """Register a named shared resource (duplicate names are rejected)."""
+        if resource.name in self.resources:
+            raise ValueError(f"duplicate resource name {resource.name!r}")
+        self.resources[resource.name] = resource
+        return resource
 
     def _build_topology(self) -> None:
         spec = self.spec
@@ -133,6 +180,7 @@ class Cluster:
             "tor_uplink_gbps": self.spec.tor_uplink_gbps,
             "nodes": self.graph.number_of_nodes(),
             "links": self.graph.number_of_edges(),
+            "resources": {name: res.as_dict() for name, res in sorted(self.resources.items())},
         }
 
 

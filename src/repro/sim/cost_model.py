@@ -126,6 +126,20 @@ class CostModel:
     def module_gradient_bytes(self, module: LayerModule) -> int:
         return module.num_params * 4
 
+    @staticmethod
+    def transfer_seconds_at(num_bytes: int, bandwidth_gbps: float) -> float:
+        """Occupancy seconds of ``num_bytes`` on a ``bandwidth_gbps`` resource.
+
+        The single pricing rule every shared link and storage resource uses
+        (see :mod:`repro.sim.resources`), so per-resource occupancy and the
+        closed-form communication terms stay dimensionally consistent.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        return num_bytes * 8.0 / (bandwidth_gbps * 1e9)
+
     # ------------------------------------------------------------------ #
     # Checkpoint volume
     # ------------------------------------------------------------------ #

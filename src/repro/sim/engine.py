@@ -22,7 +22,13 @@ over :class:`~repro.sim.cluster.Cluster` resources:
   compute (buckets are transmitted while earlier layers still run BP,
   ByteScheduler-style front-first priority optionally reorders them), and in
   multi-iteration runs leftover communication can hide behind the next
-  iteration's forward pass under the ByteScheduler policies.
+  iteration's forward pass under the ByteScheduler policies;
+* **shared-resource queues** — with ``link_resource`` set, every gradient
+  bucket additionally occupies the named shared resource's FIFO timeline
+  (:mod:`repro.sim.resources`), so concurrent jobs' buckets genuinely delay
+  each other on the fabric instead of being scaled by a fudge factor; the
+  same timelines price checkpoint/restore traffic on shared storage targets
+  (:meth:`EventDrivenEngine.storage_transfer`).
 
 The engine is deterministic: event ties are broken by insertion sequence and
 no randomness is used, so two runs with identical inputs produce identical
@@ -35,12 +41,14 @@ closed-form path usable as a validated fast mode.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .allreduce import AllReduceModel
 from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
+from .resources import ResourcePool, ResourceTimeline, SharedResource
 from .timeline import SchedulePolicy
 
 __all__ = ["SimEvent", "EventQueue", "EngineIterationResult", "EventDrivenEngine"]
@@ -142,22 +150,70 @@ class EventDrivenEngine:
         Communication model used to price gradient buckets; built from
         ``cluster`` when omitted.
     comm_scale:
-        Multiplier on every bucket's transmission time — the scheduler uses it
-        to model bandwidth sharing between concurrent multi-machine jobs.
+        **Deprecated.** Flat multiplier on every bucket's transmission time,
+        formerly used to fake bandwidth sharing between concurrent
+        multi-machine jobs.  A scale of ``k`` is kept as an exact shim for an
+        equivalent shared link running at ``bandwidth / k`` — but real
+        contention should be modelled with named shared resources
+        (``link_resource``/:meth:`storage_transfer`) instead.
     """
 
     def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
                  comm_scale: float = 1.0):
         self.cluster = cluster
         self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
-        self.comm_scale = comm_scale
+        #: Shared-resource timelines (links + storage); populated from the
+        #: cluster's named resources, extendable with :meth:`add_resource`.
+        self.resources = ResourcePool(cluster.resources.values() if cluster is not None else None)
+        self._comm_scale = 1.0
+        if comm_scale != 1.0:
+            self.comm_scale = comm_scale  # route through the deprecation shim
         #: Per-GPU relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
         #: straggler whose compute segments take twice as long).
         self.gpu_speed: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
+    # Deprecated comm_scale shim
+    # ------------------------------------------------------------------ #
+    @property
+    def comm_scale(self) -> float:
+        return self._comm_scale
+
+    @comm_scale.setter
+    def comm_scale(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ValueError("comm_scale must be positive")
+        if value != 1.0:
+            warnings.warn(
+                "comm_scale is deprecated: model cross-job contention with shared "
+                "resources (Cluster resources + link_resource / storage_transfer) "
+                f"instead. The scale {value} is applied as the exact equivalent of a "
+                f"shared link running at bandwidth/{value}.",
+                DeprecationWarning, stacklevel=2)
+        self._comm_scale = value
+
+    # ------------------------------------------------------------------ #
     # Scenario knobs
     # ------------------------------------------------------------------ #
+    def add_resource(self, resource: SharedResource) -> ResourceTimeline:
+        """Register an extra shared resource (name validated at use time)."""
+        return self.resources.add(resource)
+
+    def resource_timeline(self, name: str) -> ResourceTimeline:
+        """The named resource's timeline, syncing late cluster additions.
+
+        Resources registered on the cluster *after* this engine was built
+        (``cluster.add_resource``) are adopted on first use, so the cluster
+        stays the single place to declare resources.  Unknown names raise
+        ``KeyError`` at call time, like job and GPU names.
+        """
+        timeline = self.resources.get(name)
+        if timeline is None and self.cluster is not None and name in self.cluster.resources:
+            timeline = self.resources.add(self.cluster.resources[name])
+        if timeline is None:
+            return self.resources.require(name)  # raises with the known names
+        return timeline
     def set_gpu_speed(self, gpu_name: str, factor: float) -> None:
         """Set a GPU's relative speed (straggler < 1.0 < fast heterogeneous GPU)."""
         if factor <= 0:
@@ -227,15 +283,16 @@ class EventDrivenEngine:
 
     def transfer_seconds(self, num_bytes: int, workers: Optional[Sequence[WorkerLike]] = None,
                          seconds_per_byte: Optional[float] = None) -> float:
-        """Time to move ``num_bytes`` of state over the workers' uplinks.
+        """Uncontended time to move ``num_bytes`` of state over the workers' uplinks.
 
         Prices checkpoint writes and restore reads the same way gradient
         buckets are priced: as link-bytes.  With an explicit
         ``seconds_per_byte`` the cost is linear (the trainers' hook);
         otherwise the bytes traverse the slowest NIC among the workers'
-        machines, subject to the engine's ``comm_scale`` fair-sharing factor.
-        Without a cluster the transfer is free (single-node storage is not
-        modelled).
+        machines.  Without a cluster the transfer is free (single-node
+        storage is not modelled).  This is a pure pricing helper: it places
+        no occupancy on any shared resource — contended storage traffic goes
+        through :meth:`storage_transfer` instead.
         """
         if num_bytes <= 0:
             return 0.0
@@ -248,7 +305,34 @@ class EventDrivenEngine:
             return 0.0
         nic_gbps = min(m.nic_gbps for m in self.cluster.machines if m.name in machines)
         latency = self.allreduce.latency_seconds if self.allreduce is not None else 0.0
-        return latency + num_bytes * 8.0 / (nic_gbps * 1e9) * self.comm_scale
+        return latency + CostModel.transfer_seconds_at(num_bytes, nic_gbps) * self.comm_scale
+
+    def _worker_nic_cap_gbps(self, workers: Optional[Sequence[WorkerLike]]) -> Optional[float]:
+        """Slowest NIC among the workers' machines (endpoint-side bandwidth cap)."""
+        if self.cluster is None or not workers:
+            return None
+        machines = {w.machine for w in workers if isinstance(w, GPUDevice)}
+        if not machines:
+            return None
+        return min(m.nic_gbps for m in self.cluster.machines if m.name in machines)
+
+    def storage_transfer(self, num_bytes: int, start_time: float, resource: str,
+                         workers: Optional[Sequence[WorkerLike]] = None,
+                         job: Optional[str] = None, kind: str = "checkpoint") -> Tuple[float, float]:
+        """Queue a checkpoint/restore transfer on a shared storage resource.
+
+        Reserves a FIFO window on the named resource's timeline — concurrent
+        writers genuinely wait for each other — and returns ``(start, end)``.
+        The effective bandwidth is the minimum of the resource's capacity and
+        the slowest NIC among the workers' machines (a writer cannot outrun
+        its own uplink).  Unknown resource names raise ``KeyError`` at call
+        time, like job and GPU names.
+        """
+        timeline = self.resource_timeline(resource)
+        if num_bytes <= 0:
+            return float(start_time), float(start_time)
+        return timeline.reserve_bytes(start_time, int(num_bytes), job=job, kind=kind,
+                                      cap_gbps=self._worker_nic_cap_gbps(workers))
 
     # ------------------------------------------------------------------ #
     # Core event loop
@@ -259,7 +343,9 @@ class EventDrivenEngine:
                            include_reference_overhead: bool = False,
                            comm_seconds_per_byte: Optional[float] = None,
                            start_time: float = 0.0,
-                           trace: Optional[List[SimEvent]] = None) -> EngineIterationResult:
+                           trace: Optional[List[SimEvent]] = None,
+                           link_resource: Optional[str] = None,
+                           job_name: Optional[str] = None) -> EngineIterationResult:
         """Simulate one data-parallel iteration and return its timing breakdown.
 
         Parameters
@@ -278,6 +364,16 @@ class EventDrivenEngine:
             Linear per-byte cost overriding the all-reduce model — the hook
             the trainers use so the event path and the closed-form path price
             communication identically.
+        link_resource:
+            Name of a shared link resource to queue buckets on.  Buckets keep
+            their all-reduce transmission time but additionally occupy the
+            named resource's FIFO timeline, so buckets from *other* jobs
+            simulated on the same engine delay this job's communication (and
+            vice versa).  ``None`` keeps the job's communication private —
+            the single-job behaviour, identical to earlier revisions.
+        job_name:
+            Owner recorded on the shared resource's occupancy windows (byte
+            accounting and cancellation on preemption/resize).
         """
         if policy not in SchedulePolicy.ALL:
             raise ValueError(f"unknown policy {policy!r}; expected one of {SchedulePolicy.ALL}")
@@ -288,12 +384,13 @@ class EventDrivenEngine:
         num_modules = len(cost_model.layer_modules)
         frozen_prefix = max(0, min(frozen_prefix, num_modules))
         bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
+        link_timeline = self.resource_timeline(link_resource) if link_resource is not None else None
 
         queue = EventQueue()
         num_events = 0
         compute_end = {name: start_time for name in names}
         bucket_done_workers: Dict[int, int] = {}
-        pending_buckets: List[Tuple[float, int]] = []  # (priority, module_index)
+        pending_buckets: List[Tuple[float, int]] = []  # min-heap of (priority, module_index)
         ready_counter = 0
         link_busy = False
         comm_busy_total = 0.0
@@ -314,11 +411,18 @@ class EventDrivenEngine:
             nonlocal link_busy
             if link_busy or not pending_buckets:
                 return
-            pending_buckets.sort()
-            _priority, module_index = pending_buckets.pop(0)
-            duration = self._bucket_seconds(cost_model, module_index, worker_list, comm_seconds_per_byte)
+            _priority, module_index = heapq.heappop(pending_buckets)
+            transmit = self._bucket_seconds(cost_model, module_index, worker_list, comm_seconds_per_byte)
+            if link_timeline is not None and transmit > 0.0:
+                # Queue on the shared resource: the bucket may wait for other
+                # jobs' in-flight transfers before its transmission window.
+                num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
+                _start, end = link_timeline.reserve(now, transmit, num_bytes=num_bytes,
+                                                    job=job_name, kind="allreduce")
+            else:
+                end = now + transmit
             link_busy = True
-            queue.push(now + duration, "comm_done", (module_index, duration))
+            queue.push(end, "comm_done", (module_index, transmit))
 
         for worker_pos in range(len(names)):
             if segments:
@@ -349,7 +453,7 @@ class EventDrivenEngine:
                 # (back-to-front, as their backward passes complete).
                 priority = float(module_index) if bytescheduler else float(ready_counter)
                 ready_counter += 1
-                pending_buckets.append((priority, module_index))
+                heapq.heappush(pending_buckets, (priority, module_index))
                 start_next_bucket(now)
             elif event.kind == "comm_done":
                 _module_index, duration = event.payload

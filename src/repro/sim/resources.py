@@ -1,0 +1,267 @@
+"""Shared cluster resources: named links and storage targets with finite bandwidth.
+
+The paper's cluster-level claims (shrinking gradient traffic, tolerance to
+communication bottlenecks) are about *shared* resources: several training
+jobs' all-reduce buckets cross the same leaf–spine fabric, and concurrent
+checkpointers write to the same storage target.  Earlier revisions modelled
+that sharing with a flat ``comm_scale`` fair-share multiplier; this module
+makes it a first-class system concept instead:
+
+* :class:`SharedResource` — a named link or storage target with a finite
+  bandwidth and a fixed per-transfer latency;
+* :class:`ResourceTimeline` — the per-resource event queue.  Transfers are
+  serialized on the resource with first-fit (gap-filling) placement: a
+  transfer requested with ``earliest_start = t`` begins at the start of the
+  first idle window of sufficient length at or after ``t``.  Two jobs whose
+  transfers actually overlap in simulated time genuinely delay each other,
+  while a transfer requested while the resource is idle proceeds
+  immediately — even when another job already holds a window further in the
+  future (the scheduler reserves checkpoint windows ahead of time);
+* :class:`ResourcePool` — the engine-side registry of timelines, validated
+  by name at call time like job and GPU names.
+
+The discipline is deterministic (placement depends only on the request
+sequence, which the scheduler's event heap already makes deterministic) and
+conserves bytes (every reserved transfer is recorded with its payload size
+and owner).  For request streams issued in non-decreasing
+``earliest_start`` order it is also monotone: scaling every transfer
+duration down (a faster resource) moves every start and end earlier, so
+makespans never grow when bandwidth grows.  Those invariants are what the
+hypothesis property suite asserts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .cost_model import CostModel
+
+__all__ = ["SharedResource", "ResourceOccupancy", "ResourceTimeline", "ResourcePool"]
+
+
+@dataclass(frozen=True)
+class SharedResource:
+    """One named, finite-bandwidth resource shared between jobs.
+
+    Parameters
+    ----------
+    name:
+        Identifier the scheduler and jobs reference (validated at call time).
+    bandwidth_gbps:
+        Capacity of the resource in gigabits per second.
+    kind:
+        ``"link"`` (network fabric) or ``"storage"`` (checkpoint target);
+        informational — both kinds share the same queueing discipline.
+    latency_seconds:
+        Fixed per-transfer setup cost (ring launch, storage round trip).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    kind: str = "link"
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"resource {self.name!r}: bandwidth must be positive")
+        if self.kind not in ("link", "storage"):
+            raise ValueError(f"resource {self.name!r}: kind must be 'link' or 'storage'")
+        if self.latency_seconds < 0:
+            raise ValueError(f"resource {self.name!r}: latency must be non-negative")
+
+    def transfer_seconds(self, num_bytes: int, cap_gbps: Optional[float] = None) -> float:
+        """Uncontended time to move ``num_bytes`` through this resource.
+
+        ``cap_gbps`` bounds the effective bandwidth from the endpoint side —
+        e.g. a checkpoint write cannot outrun the writing machine's NIC even
+        when the storage target itself is faster.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        bandwidth = self.bandwidth_gbps
+        if cap_gbps is not None:
+            bandwidth = min(bandwidth, float(cap_gbps))
+        return self.latency_seconds + CostModel.transfer_seconds_at(num_bytes, bandwidth)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "kind": self.kind,
+            "latency_seconds": self.latency_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ResourceOccupancy:
+    """One reserved transfer window on a shared resource."""
+
+    start: float
+    end: float
+    num_bytes: int
+    job: Optional[str]
+    kind: str
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"start": self.start, "end": self.end, "num_bytes": self.num_bytes,
+                "job": self.job, "kind": self.kind}
+
+
+class ResourceTimeline:
+    """Occupancy queue of one shared resource (first-fit placement).
+
+    A transfer requested with ``earliest_start = t`` begins at the start of
+    the first idle window of sufficient length at or after ``t`` — transfers
+    that overlap in simulated time serialize, while an idle resource serves a
+    request immediately even when other windows are already reserved further
+    in the future.  Every reservation is recorded with its byte payload and
+    owning job, so per-resource traffic can be audited afterwards
+    (:meth:`total_bytes`, :meth:`bytes_by_job`) and reservations made for a
+    later-invalidated iteration can be cancelled (:meth:`cancel`).
+    """
+
+    def __init__(self, resource: SharedResource):
+        self.resource = resource
+        #: Reserved windows, kept sorted by start time (they never overlap).
+        self._records: List[ResourceOccupancy] = []
+        self._busy_until = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def records(self) -> Tuple[ResourceOccupancy, ...]:
+        return tuple(self._records)
+
+    def _first_fit(self, earliest_start: float, seconds: float) -> float:
+        """Start of the first idle window of length ``seconds`` at/after
+        ``earliest_start`` (records are sorted and disjoint: one pass)."""
+        candidate = earliest_start
+        for window in self._records:
+            if window.start >= candidate + seconds:
+                break  # the gap before this window fits
+            if window.end > candidate:
+                candidate = window.end
+        return candidate
+
+    def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
+                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
+        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window."""
+        if seconds < 0:
+            raise ValueError("cannot reserve a negative duration")
+        start = self._first_fit(float(earliest_start), seconds)
+        end = start + seconds
+        record = ResourceOccupancy(start, end, int(num_bytes), job, kind)
+        position = bisect.bisect_left([r.start for r in self._records], start)
+        self._records.insert(position, record)
+        self._busy_until = max(self._busy_until, end)
+        return start, end
+
+    def reserve_bytes(self, earliest_start: float, num_bytes: int, job: Optional[str] = None,
+                      kind: str = "transfer", cap_gbps: Optional[float] = None) -> Tuple[float, float]:
+        """Reserve a transfer priced by the resource's own bandwidth (and ``cap_gbps``)."""
+        seconds = self.resource.transfer_seconds(num_bytes, cap_gbps=cap_gbps)
+        return self.reserve(earliest_start, seconds, num_bytes=num_bytes, job=job, kind=kind)
+
+    def cancel(self, job: str, after_time: float) -> int:
+        """Drop ``job``'s reservations starting at or after ``after_time``.
+
+        Called when a resize/failure/preemption invalidates an in-flight
+        iteration whose transfers were already placed on the timeline; windows
+        that started before ``after_time`` stay (the bytes were on the wire).
+        Returns the number of cancelled reservations.
+
+        Known approximation: transfers that were already placed *behind* a
+        now-cancelled window keep their committed start times (their
+        completion events are already on the scheduler heap), so contention
+        is over-estimated right after a cancellation.  New requests do reuse
+        the freed gaps.
+        """
+        kept = [r for r in self._records
+                if not (r.job == job and r.start >= after_time)]
+        cancelled = len(self._records) - len(kept)
+        if cancelled:
+            self._records = kept
+            self._busy_until = max((r.end for r in kept), default=0.0)
+        return cancelled
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def busy_seconds(self) -> float:
+        return sum(r.seconds for r in self._records)
+
+    def total_bytes(self) -> int:
+        return sum(r.num_bytes for r in self._records)
+
+    def bytes_by_job(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for record in self._records:
+            key = record.job if record.job is not None else "<anonymous>"
+            totals[key] = totals.get(key, 0) + record.num_bytes
+        return totals
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for record in self._records:
+            totals[record.kind] = totals.get(record.kind, 0) + record.num_bytes
+        return totals
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "resource": self.resource.as_dict(),
+            "busy_seconds": self.busy_seconds(),
+            "busy_until": self.busy_until,
+            "num_transfers": len(self._records),
+            "total_bytes": self.total_bytes(),
+            "bytes_by_job": dict(sorted(self.bytes_by_job().items())),
+            "bytes_by_kind": dict(sorted(self.bytes_by_kind().items())),
+        }
+
+
+class ResourcePool:
+    """Named registry of :class:`ResourceTimeline` s held by the engine."""
+
+    def __init__(self, resources: Optional[Iterable[SharedResource]] = None):
+        self._timelines: Dict[str, ResourceTimeline] = {}
+        for resource in resources or ():
+            self.add(resource)
+
+    def add(self, resource: SharedResource) -> ResourceTimeline:
+        if resource.name in self._timelines:
+            raise ValueError(f"duplicate resource name {resource.name!r}")
+        timeline = ResourceTimeline(resource)
+        self._timelines[resource.name] = timeline
+        return timeline
+
+    def names(self) -> List[str]:
+        return sorted(self._timelines)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._timelines
+
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    def get(self, name: str) -> Optional[ResourceTimeline]:
+        return self._timelines.get(str(name))
+
+    def require(self, name: str) -> ResourceTimeline:
+        """Validate a resource name at call time (like job/GPU names)."""
+        timeline = self._timelines.get(str(name))
+        if timeline is None:
+            raise KeyError(f"unknown resource {name!r}; known: {self.names()}")
+        return timeline
+
+    def cancel_job(self, job: str, after_time: float) -> int:
+        return sum(timeline.cancel(job, after_time) for timeline in self._timelines.values())
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        return {name: timeline.as_dict() for name, timeline in sorted(self._timelines.items())}

@@ -1,0 +1,172 @@
+"""Replayable cluster scenarios: JSON spec in, timeline/makespan JSON out.
+
+A *scenario* is a plain-JSON description of one cluster-simulation run —
+cluster shape, extra shared resources, jobs and fault/elasticity knobs.  The
+``repro sim run`` CLI subcommand feeds a scenario file through
+:func:`run_scenario` and prints the resulting makespan, per-job records and
+per-resource occupancy as JSON, so cluster experiments are reproducible
+artifacts rather than ad hoc scripts.
+
+Scenario schema (all keys optional unless noted)::
+
+    {
+      "cluster":   {"num_machines": 5, "gpus_per_machine": 2, "nic_gbps": 40.0,
+                    "tor_uplink_gbps": 100.0, "fabric_gbps": null, "storage_gbps": null},
+      "resources": [{"name": "scratch", "bandwidth_gbps": 10.0,
+                     "kind": "storage", "latency_seconds": 0.0001}],
+      "placement": "fifo",
+      "seed": 0,
+      "jobs": [
+        {"name": "a",                       # required, unique
+         "workload": "resnet50_imagenet",   # cost model source ...
+         "scale": "tiny",
+         "modules": [1000, 2000, ...],      # ... or explicit per-module params
+         "batch_size": 32,
+         "num_workers": 4, "iterations": 10,
+         "policy": "vanilla", "frozen_prefix": 0, "cached_fp": false,
+         "include_reference_overhead": false, "arrival_time": 0.0,
+         "checkpoint_every": 5, "storage": "ckpt-store",
+         "async_checkpoint": false, "link": null}
+      ],
+      "gpu_speeds":  [{"gpu": "node0:gpu0", "factor": 0.5, "at_time": 0.0}],
+      "failures":    [{"gpu": "node0:gpu0", "at_time": 1.0, "recover_at": null}],
+      "resizes":     [{"job": "a", "delta": -2, "at_time": 1.0}],
+      "preemptions": [{"job": "a", "at_time": 1.0}],
+      "resumes":     [{"job": "a", "at_time": 2.0}]
+    }
+
+Jobs take their cost model either from a named experiment workload
+(``workload``/``scale``) or from an explicit ``modules`` list of per-module
+parameter counts; exactly one of the two must be given.  Unknown keys raise
+``ValueError`` so typos fail loudly instead of silently changing the run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Union
+
+from .cluster import Cluster, ClusterSpec
+from .cost_model import CostModel
+from .resources import SharedResource
+from .scheduler import ClusterScheduler, SimJob
+
+__all__ = ["build_scenario", "run_scenario"]
+
+_CLUSTER_KEYS = {"num_machines", "gpus_per_machine", "nic_gbps", "tor_uplink_gbps",
+                 "num_tor_switches", "num_core_switches", "fabric_gbps", "storage_gbps"}
+_JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers",
+             "iterations", "policy", "frozen_prefix", "cached_fp",
+             "include_reference_overhead", "arrival_time", "checkpoint_every",
+             "storage", "link", "async_checkpoint"}
+_SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
+                  "gpu_speeds", "failures", "resizes", "preemptions", "resumes"}
+
+
+def _check_keys(mapping: Dict, allowed: set, where: str) -> None:
+    unknown = sorted(set(mapping) - allowed)
+    if unknown:
+        raise ValueError(f"unknown {where} keys {unknown}; allowed: {sorted(allowed)}")
+
+
+def _job_cost_model(spec: Dict) -> CostModel:
+    """Cost model from a named workload or an explicit module list."""
+    has_workload = spec.get("workload") is not None
+    has_modules = spec.get("modules") is not None
+    if has_workload == has_modules:
+        raise ValueError(f"job {spec.get('name')!r}: give exactly one of 'workload' or 'modules'")
+    batch_size = int(spec.get("batch_size", 32))
+    if has_modules:
+        # Imported lazily: repro.core imports repro.sim at module load time,
+        # so a top-level import here would be circular.
+        from ..core.modules import LayerModule
+
+        counts = [int(c) for c in spec["modules"]]
+        if not counts or any(c <= 0 for c in counts):
+            raise ValueError(f"job {spec.get('name')!r}: 'modules' must be positive param counts")
+        modules = [LayerModule(name=f"m{i}", paths=[], blocks=[], num_params=c, index=i)
+                   for i, c in enumerate(counts)]
+        return CostModel(modules, batch_size=batch_size)
+    from ..core.modules import parse_layer_modules
+    from ..experiments.workloads import build_workload  # lazy: experiments -> sim
+
+    workload = build_workload(str(spec["workload"]), scale=str(spec.get("scale", "tiny")))
+    modules = parse_layer_modules(workload.make_model())
+    return CostModel(modules, batch_size=int(spec.get("batch_size", workload.batch_size)))
+
+
+def build_scenario(spec: Dict) -> ClusterScheduler:
+    """Construct a fully-wired :class:`ClusterScheduler` from a scenario dict."""
+    _check_keys(spec, _SCENARIO_KEYS, "scenario")
+    cluster_spec = dict(spec.get("cluster") or {})
+    _check_keys(cluster_spec, _CLUSTER_KEYS, "cluster")
+    cluster = Cluster(ClusterSpec(**cluster_spec))
+    for resource_spec in spec.get("resources") or []:
+        cluster.add_resource(SharedResource(**resource_spec))
+
+    scheduler = ClusterScheduler(cluster, placement=str(spec.get("placement", "fifo")),
+                                 seed=int(spec.get("seed", 0)))
+    jobs = spec.get("jobs") or []
+    if not jobs:
+        raise ValueError("scenario has no jobs")
+    for job_spec in jobs:
+        _check_keys(job_spec, _JOB_KEYS, "job")
+        if "name" not in job_spec:
+            raise ValueError("every job needs a 'name'")
+        scheduler.submit(SimJob(
+            name=str(job_spec["name"]),
+            cost_model=_job_cost_model(job_spec),
+            num_workers=int(job_spec.get("num_workers", 1)),
+            iterations=int(job_spec.get("iterations", 1)),
+            policy=str(job_spec.get("policy", "vanilla")),
+            frozen_prefix=int(job_spec.get("frozen_prefix", 0)),
+            cached_fp=bool(job_spec.get("cached_fp", False)),
+            include_reference_overhead=bool(job_spec.get("include_reference_overhead", False)),
+            arrival_time=float(job_spec.get("arrival_time", 0.0)),
+            checkpoint_every=(None if job_spec.get("checkpoint_every") is None
+                              else int(job_spec["checkpoint_every"])),
+            storage=job_spec.get("storage"),
+            link=job_spec.get("link"),
+            async_checkpoint=bool(job_spec.get("async_checkpoint", False)),
+        ))
+
+    for knob in spec.get("gpu_speeds") or []:
+        scheduler.set_gpu_speed(knob["gpu"], float(knob["factor"]),
+                                at_time=float(knob.get("at_time", 0.0)))
+    for knob in spec.get("failures") or []:
+        recover_at = knob.get("recover_at")
+        scheduler.inject_failure(knob["gpu"], at_time=float(knob["at_time"]),
+                                 recover_at=None if recover_at is None else float(recover_at))
+    for knob in spec.get("resizes") or []:
+        scheduler.resize_job(knob["job"], int(knob["delta"]), at_time=float(knob["at_time"]))
+    for knob in spec.get("preemptions") or []:
+        scheduler.preempt_job(knob["job"], at_time=float(knob["at_time"]))
+    for knob in spec.get("resumes") or []:
+        scheduler.resume_job(knob["job"], at_time=float(knob["at_time"]))
+    return scheduler
+
+
+def run_scenario(scenario: Union[str, Dict], include_trace: bool = False) -> Dict[str, object]:
+    """Replay a scenario (dict or path to a JSON file) to plain-data results.
+
+    The output is deterministic for a fixed scenario: makespan, per-job
+    records, GPU utilization and per-resource occupancy — plus the full
+    scheduler trace when ``include_trace`` is set.
+    """
+    if isinstance(scenario, str):
+        with open(scenario, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    else:
+        spec = dict(scenario)
+    scheduler = build_scenario(spec)
+    result = scheduler.run()
+    output: Dict[str, object] = {
+        "cluster": scheduler.cluster.describe(),
+        "placement": scheduler.placement,
+        "num_jobs": len(result.jobs),
+        "num_trace_events": len(result.trace),
+        **result.as_dict(),
+    }
+    if include_trace:
+        output["trace"] = list(result.trace)
+    return output

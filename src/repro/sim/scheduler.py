@@ -24,9 +24,16 @@ scenarios the closed-form model cannot express become one-liners:
   and re-queue a job.  Victims restart from their last periodic checkpoint
   (``SimJob.checkpoint_every``) or from scratch without one, with
   checkpoint/restore costs charged through the cost model and engine.
-* **Network contention** — while more than one multi-machine job is running,
-  every job's communication is scaled by the number of such jobs (the shared
-  leaf–spine fabric is modelled as fair-shared).
+* **Shared-resource contention** — multi-machine jobs queue their gradient
+  buckets on the cluster's named fabric link and all jobs queue their
+  checkpoint writes / restore reads on the named storage resource
+  (:mod:`repro.sim.resources`).  Concurrent jobs genuinely delay each other
+  on the resources they actually share; the former flat ``comm_scale``
+  fair-share multiplier is gone.
+* **Async checkpointing** — ``SimJob.async_checkpoint=True`` releases
+  compute as soon as an iteration finishes while the snapshot drains on the
+  storage resource in the background; the checkpoint only becomes a valid
+  rollback target once its write completes.
 
 Everything is deterministic for a fixed seed: the event heap breaks ties by
 insertion order and the only randomness (optional placement jitter) comes
@@ -58,9 +65,23 @@ class SimJob:
 
     ``checkpoint_every`` enables fault tolerance: every that many completed
     iterations the job writes a freezing-aware incremental checkpoint (the
-    active suffix only, priced as link-bytes through the engine).  After a
+    active suffix only) onto the shared ``storage`` resource.  After a
     failure or preemption the job restarts from its last checkpoint — paying
     a full-state restore read — instead of from scratch.
+
+    ``storage``/``link`` name the shared resources the job's checkpoint and
+    all-reduce traffic queue on; ``None`` selects the cluster defaults
+    (:data:`Cluster.CKPT_STORAGE`, and :data:`Cluster.FABRIC` for jobs that
+    span machines).  ``async_checkpoint=True`` overlaps checkpoint writes
+    with subsequent compute: the iteration finishes immediately and the
+    snapshot drains on the storage resource in the background, becoming a
+    valid rollback target only once the write completes.
+
+    The ``begin_iteration``/``iteration_profile``/``checkpoint_write_bytes``
+    /``restore_read_bytes``/``rollback`` hooks are the scheduler's interface
+    to the job; :class:`~repro.sim.trainer_job.TrainerJob` overrides them to
+    run a *real* trainer (live freezing decisions, content-addressed
+    checkpoint bytes) inside the simulated cluster.
     """
 
     name: str
@@ -73,6 +94,9 @@ class SimJob:
     include_reference_overhead: bool = False
     arrival_time: float = 0.0
     checkpoint_every: Optional[int] = None
+    storage: Optional[str] = None
+    link: Optional[str] = None
+    async_checkpoint: bool = False
 
     def __post_init__(self) -> None:
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
@@ -82,6 +106,27 @@ class SimJob:
         if callable(self.frozen_prefix):
             return int(self.frozen_prefix(iteration))
         return int(self.frozen_prefix)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler hooks (overridden by TrainerJob to run a real trainer)
+    # ------------------------------------------------------------------ #
+    def begin_iteration(self, iteration: int) -> None:
+        """Called once right before iteration ``iteration`` is simulated."""
+
+    def iteration_profile(self, iteration: int) -> Tuple[int, bool, bool]:
+        """``(frozen_prefix, cached_fp, include_reference_overhead)`` for pricing."""
+        return (self.prefix_at(iteration), self.cached_fp, self.include_reference_overhead)
+
+    def checkpoint_write_bytes(self, iteration: int, frozen_prefix: int) -> int:
+        """Bytes the checkpoint completing iteration ``iteration`` writes."""
+        return self.cost_model.checkpoint_bytes(frozen_prefix=frozen_prefix, incremental=True)
+
+    def restore_read_bytes(self, iteration: int, frozen_prefix: int) -> int:
+        """Bytes a restore back to iteration ``iteration`` reads."""
+        return self.cost_model.checkpoint_bytes(frozen_prefix=frozen_prefix, incremental=False)
+
+    def rollback(self, to_iteration: int) -> None:
+        """Called when the scheduler rolls the job back to ``to_iteration``."""
 
 
 @dataclass
@@ -109,8 +154,10 @@ class JobRecord:
     samples_at_checkpoint: float = 0.0
     checkpoints_taken: int = 0
     checkpoint_seconds: float = 0.0
+    checkpoint_bytes_written: int = 0
     restores: int = 0
     restore_seconds: float = 0.0
+    restore_bytes_read: int = 0
     preemptions: int = 0
     failures: int = 0
 
@@ -139,6 +186,7 @@ class JobRecord:
             "iterations_done": self.iterations_done,
             "worker_names": list(self.worker_names),
             "queueing_delay": self.queueing_delay,
+            "completion_seconds": self.completion_seconds,
             "samples_processed": self.samples_processed,
             "throughput": self.throughput(),
             "mean_iteration_seconds": (sum(self.iteration_seconds) / len(self.iteration_seconds)
@@ -146,8 +194,10 @@ class JobRecord:
             "placed_seconds": self.placed_seconds,
             "checkpoints_taken": self.checkpoints_taken,
             "checkpoint_seconds": self.checkpoint_seconds,
+            "checkpoint_bytes_written": self.checkpoint_bytes_written,
             "restores": self.restores,
             "restore_seconds": self.restore_seconds,
+            "restore_bytes_read": self.restore_bytes_read,
             "preemptions": self.preemptions,
             "failures": self.failures,
         }
@@ -155,12 +205,18 @@ class JobRecord:
 
 @dataclass
 class SchedulerResult:
-    """Outcome of a :meth:`ClusterScheduler.run`."""
+    """Outcome of a :meth:`ClusterScheduler.run`.
+
+    ``resources`` summarizes every shared resource's occupancy: busy seconds,
+    total bytes and the per-job / per-kind byte split — the audit trail the
+    conservation property tests check against the job records.
+    """
 
     makespan: float
     jobs: Dict[str, JobRecord]
     gpu_busy_seconds: Dict[str, float]
     trace: List[Dict[str, object]]
+    resources: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def utilization(self) -> Dict[str, float]:
         if self.makespan <= 0:
@@ -173,6 +229,7 @@ class SchedulerResult:
             "makespan": self.makespan,
             "jobs": {name: record.as_dict() for name, record in sorted(self.jobs.items())},
             "utilization": dict(sorted(self.utilization().items())),
+            "resources": {name: dict(summary) for name, summary in sorted(self.resources.items())},
         }
 
 
@@ -223,6 +280,10 @@ class ClusterScheduler:
         self._failed_gpus: set = set()
         self._paused: set = set()
         self._needs_restore: set = set()
+        #: Per-job placement generation; bumped whenever the job is taken off
+        #: its GPUs so in-flight async checkpoint completions from the old
+        #: placement are recognised as stale.
+        self._placement_epoch: Dict[str, int] = {}
         self.records: Dict[str, JobRecord] = {}
         self.gpu_busy_seconds: Dict[str, float] = {gpu.name: 0.0 for gpu in self._all_gpus}
         self.trace: List[Dict[str, object]] = []
@@ -242,6 +303,12 @@ class ClusterScheduler:
         if job.num_workers > len(self._all_gpus):
             raise ValueError(f"job {job.name!r} wants {job.num_workers} workers but the cluster "
                              f"has only {len(self._all_gpus)} GPUs")
+        # Resource names are validated at submit time, like job/GPU names
+        # (late cluster.add_resource registrations are adopted here).
+        if job.storage is not None:
+            self.engine.resource_timeline(job.storage)
+        if job.link is not None:
+            self.engine.resource_timeline(job.link)
         self._jobs[job.name] = job
         self.records[job.name] = JobRecord(name=job.name, arrival_time=job.arrival_time)
         self._push(job.arrival_time, "arrival", (job.name,))
@@ -349,14 +416,17 @@ class ClusterScheduler:
             delay = 0.0
             if job.name in self._needs_restore:
                 # Restore reads the *full* state (frozen prefix included) back
-                # over the new workers' uplinks before training continues.
+                # from the shared storage resource before training continues —
+                # queueing behind any other job's in-flight transfers.
                 self._needs_restore.discard(job.name)
-                restore_bytes = job.cost_model.checkpoint_bytes(
-                    frozen_prefix=job.prefix_at(record.iterations_done), incremental=False)
-                delay = self.engine.transfer_seconds(restore_bytes, gpus)
+                restore_bytes = job.restore_read_bytes(
+                    record.iterations_done, job.prefix_at(record.iterations_done))
+                delay = self._storage_seconds(job, restore_bytes, now, gpus, kind="restore")
                 record.restores += 1
                 record.restore_seconds += delay
+                record.restore_bytes_read += int(restore_bytes)
                 self._trace(now, "restore", job=job.name, seconds=delay,
+                            num_bytes=int(restore_bytes),
                             from_iteration=record.iterations_done)
             self._schedule_iteration(job, now + delay)
 
@@ -375,6 +445,10 @@ class ClusterScheduler:
         workers = self._allocations.pop(job_name)
         self._release(job_name, workers, now)
         self._iter_token[job_name] = self._iter_token.get(job_name, 0) + 1
+        self._placement_epoch[job_name] = self._placement_epoch.get(job_name, 0) + 1
+        # The invalidated iteration's transfers that have not started yet are
+        # cancelled off every shared resource (the bytes never hit the wire).
+        self.engine.resources.cancel_job(job_name, now)
         if record.placed_since is not None:
             record.placed_seconds += now - record.placed_since
             record.placed_since = None
@@ -382,6 +456,7 @@ class ClusterScheduler:
         if record.iterations_done > rollback_to:
             record.iterations_done = rollback_to
             record.samples_processed = record.samples_at_checkpoint if rollback_to > 0 else 0.0
+            job.rollback(rollback_to)
         if rollback_to > 0:
             self._needs_restore.add(job_name)
         record.worker_names = []
@@ -390,42 +465,76 @@ class ClusterScheduler:
     # ------------------------------------------------------------------ #
     # Iteration advancement
     # ------------------------------------------------------------------ #
-    def _multi_machine_jobs_running(self) -> int:
-        count = 0
-        for name, gpus in self._allocations.items():
-            if len({gpu.machine for gpu in gpus}) > 1:
-                count += 1
-        return count
+    def _storage_for(self, job: SimJob) -> Optional[str]:
+        """The storage resource the job's checkpoint traffic queues on."""
+        if job.storage is not None:
+            return job.storage
+        return Cluster.CKPT_STORAGE if Cluster.CKPT_STORAGE in self.engine.resources else None
+
+    def _link_for(self, job: SimJob, workers: Sequence[GPUDevice]) -> Optional[str]:
+        """The shared link the job's all-reduce crosses (None if intra-machine)."""
+        if len({gpu.machine for gpu in workers}) <= 1:
+            return None  # intra-machine rings never touch the shared fabric
+        if job.link is not None:
+            return job.link
+        return Cluster.FABRIC if Cluster.FABRIC in self.engine.resources else None
+
+    def _storage_seconds(self, job: SimJob, num_bytes: int, start_time: float,
+                         workers: Sequence[GPUDevice], kind: str) -> float:
+        """Queue a checkpoint/restore transfer; returns its total duration
+        (queueing wait included) from ``start_time``."""
+        storage = self._storage_for(job)
+        if storage is None:
+            return self.engine.transfer_seconds(num_bytes, workers)
+        _start, end = self.engine.storage_transfer(num_bytes, start_time, storage,
+                                                   workers, job=job.name, kind=kind)
+        return end - start_time
 
     def _schedule_iteration(self, job: SimJob, now: float) -> None:
         record = self.records[job.name]
         workers = self._allocations[job.name]
-        # Fair-share the fabric between concurrent multi-machine jobs.  A job
-        # confined to one machine never touches the leaf-spine links, so its
-        # (intra-machine) communication is not scaled.
-        spans_machines = len({gpu.machine for gpu in workers}) > 1
-        contenders = max(self._multi_machine_jobs_running(), 1) if spans_machines else 1
-        self.engine.comm_scale = float(contenders)
-        try:
-            result = self.engine.simulate_iteration(
-                job.cost_model, workers=workers, frozen_prefix=job.prefix_at(record.iterations_done),
-                cached_fp=job.cached_fp, policy=job.policy,
-                include_reference_overhead=job.include_reference_overhead, start_time=now)
-        finally:
-            self.engine.comm_scale = 1.0
+        iteration_index = record.iterations_done
+        # Trainer-backed jobs run one *real* training iteration here; its
+        # freezing decisions then price the simulated iteration.
+        job.begin_iteration(iteration_index)
+        prefix, cached_fp, include_reference = job.iteration_profile(iteration_index)
+        result = self.engine.simulate_iteration(
+            job.cost_model, workers=workers, frozen_prefix=prefix,
+            cached_fp=cached_fp, policy=job.policy,
+            include_reference_overhead=include_reference, start_time=now,
+            link_resource=self._link_for(job, workers), job_name=job.name)
         duration = result.total
         # Periodic checkpoint: the iteration that completes a checkpoint
         # interval also writes the freezing-aware incremental snapshot (the
-        # active suffix only) over its workers' uplinks.
-        ckpt_seconds = 0.0
-        if job.checkpoint_every and (record.iterations_done + 1) % job.checkpoint_every == 0:
-            ckpt_bytes = job.cost_model.checkpoint_bytes(
-                frozen_prefix=job.prefix_at(record.iterations_done), incremental=True)
-            ckpt_seconds = self.engine.transfer_seconds(ckpt_bytes, workers)
-            duration += ckpt_seconds
+        # active suffix only) onto the shared storage resource, queueing
+        # behind any concurrent checkpointer.
         token = self._iter_token.get(job.name, 0) + 1
         self._iter_token[job.name] = token
-        self._push(now + duration, "iteration_done", (job.name, token, duration, ckpt_seconds))
+        ckpt_due = bool(job.checkpoint_every
+                        and (iteration_index + 1) % job.checkpoint_every == 0)
+        if not ckpt_due:
+            self._push(now + duration, "iteration_done",
+                       (job.name, token, duration, 0.0, 0, False))
+            return
+        ckpt_bytes = int(job.checkpoint_write_bytes(iteration_index, prefix))
+        ckpt_seconds = self._storage_seconds(job, ckpt_bytes, now + duration, workers,
+                                             kind="checkpoint")
+        if job.async_checkpoint:
+            # Overlapped write: compute is released at the iteration boundary
+            # while the snapshot drains on the storage resource; it becomes a
+            # rollback target only when the drain completes.  The
+            # iteration_done is pushed first so, on a time tie, progress is
+            # booked before the checkpoint watermark advances.
+            self._push(now + duration, "iteration_done",
+                       (job.name, token, duration, 0.0, 0, False))
+            samples_after = record.samples_processed + job.cost_model.batch_size * len(workers)
+            self._push(now + duration + ckpt_seconds, "ckpt_done",
+                       (job.name, self._placement_epoch.get(job.name, 0),
+                        iteration_index + 1, samples_after, ckpt_seconds, ckpt_bytes))
+        else:
+            duration += ckpt_seconds
+            self._push(now + duration, "iteration_done",
+                       (job.name, token, duration, ckpt_seconds, ckpt_bytes, True))
 
     # ------------------------------------------------------------------ #
     # Event loop
@@ -440,7 +549,7 @@ class ClusterScheduler:
         makespan = 0.0
         while self._heap:
             now, _seq, kind, payload = heapq.heappop(self._heap)
-            if kind in ("arrival", "iteration_done"):
+            if kind in ("arrival", "iteration_done", "ckpt_done"):
                 # Knob events (set_speed/resize) may be timestamped past the
                 # last completed work; they do not extend the makespan.
                 makespan = max(makespan, now)
@@ -449,8 +558,10 @@ class ClusterScheduler:
                 self._pending.append(job_name)
                 self._trace(now, "arrival", job=job_name)
                 self._try_place(now)
+            elif kind == "ckpt_done":
+                self._apply_ckpt_done(payload, now)
             elif kind == "iteration_done":
-                job_name, token, duration, ckpt_seconds = payload
+                job_name, token, duration, ckpt_seconds, ckpt_bytes, ckpt_taken = payload
                 job = self._jobs[job_name]
                 record = self.records[job_name]
                 if token != self._iter_token.get(job_name) or job_name not in self._allocations:
@@ -461,13 +572,15 @@ class ClusterScheduler:
                 record.samples_processed += job.cost_model.batch_size * len(workers)
                 for gpu in workers:
                     self.gpu_busy_seconds[gpu.name] += duration
-                if ckpt_seconds > 0.0:
+                if ckpt_taken:
                     record.checkpoints_taken += 1
                     record.checkpoint_seconds += ckpt_seconds
+                    record.checkpoint_bytes_written += int(ckpt_bytes)
                     record.checkpoint_iteration = record.iterations_done
                     record.samples_at_checkpoint = record.samples_processed
                     self._trace(now, "checkpoint", job=job_name,
-                                iteration=record.iterations_done, seconds=ckpt_seconds)
+                                iteration=record.iterations_done, seconds=ckpt_seconds,
+                                num_bytes=int(ckpt_bytes))
                 if record.iterations_done >= job.iterations:
                     record.finish_time = now
                     if record.placed_since is not None:
@@ -498,7 +611,29 @@ class ClusterScheduler:
                 (job_name,) = payload
                 self._apply_resume(job_name, now)
         return SchedulerResult(makespan=makespan, jobs=dict(self.records),
-                               gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace))
+                               gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace),
+                               resources=self.engine.resources.summary())
+
+    def _apply_ckpt_done(self, payload: Tuple, now: float) -> None:
+        """Commit an async checkpoint once its storage write has drained."""
+        job_name, epoch, iteration_index, samples_after, seconds, num_bytes = payload
+        record = self.records[job_name]
+        if epoch != self._placement_epoch.get(job_name, 0) \
+                or record.iterations_done < iteration_index \
+                or iteration_index <= record.checkpoint_iteration:
+            # The job was descheduled/resized (stale epoch), rolled back past
+            # this iteration, or a newer snapshot already committed — the
+            # write never becomes a rollback target and must not regress the
+            # watermark or double-count.
+            self._trace(now, "checkpoint_dropped", job=job_name, iteration=iteration_index)
+            return
+        record.checkpoints_taken += 1
+        record.checkpoint_seconds += seconds
+        record.checkpoint_bytes_written += int(num_bytes)
+        record.checkpoint_iteration = int(iteration_index)
+        record.samples_at_checkpoint = float(samples_after)
+        self._trace(now, "checkpoint", job=job_name, iteration=int(iteration_index),
+                    seconds=seconds, num_bytes=int(num_bytes), overlapped=True)
 
     def _apply_resize(self, job_name: str, delta: int, now: float) -> None:
         record = self.records.get(job_name)
@@ -534,6 +669,12 @@ class ClusterScheduler:
         # failure/preemption re-queues it at this size, not the submitted one.
         job.num_workers = len(workers)
         record.worker_names = [gpu.name for gpu in workers]
+        # The invalidated in-flight iteration's pending transfers never
+        # happen, and any async checkpoint still draining is superseded by
+        # the migration checkpoint below — bump the placement epoch so its
+        # ckpt_done is recognised as stale (no double commit).
+        self.engine.resources.cancel_job(job_name, now)
+        self._placement_epoch[job_name] = self._placement_epoch.get(job_name, 0) + 1
         # The in-flight iteration (scheduled with the old worker set) is
         # invalidated; restart it under the new configuration.  Bumping the
         # schedule token in _schedule_iteration drops the stale event.
@@ -545,15 +686,19 @@ class ClusterScheduler:
         delay = 0.0
         if job.checkpoint_every:
             prefix = job.prefix_at(record.iterations_done)
-            write_seconds = self.engine.transfer_seconds(
-                job.cost_model.checkpoint_bytes(frozen_prefix=prefix, incremental=True), old_workers)
-            read_seconds = self.engine.transfer_seconds(
-                job.cost_model.checkpoint_bytes(frozen_prefix=prefix, incremental=False), workers)
+            write_bytes = int(job.checkpoint_write_bytes(record.iterations_done, prefix))
+            write_seconds = self._storage_seconds(job, write_bytes, now, old_workers,
+                                                  kind="checkpoint")
+            read_bytes = int(job.restore_read_bytes(record.iterations_done, prefix))
+            read_seconds = self._storage_seconds(job, read_bytes, now + write_seconds, workers,
+                                                 kind="restore")
             delay = write_seconds + read_seconds
             record.checkpoints_taken += 1
             record.checkpoint_seconds += write_seconds
+            record.checkpoint_bytes_written += write_bytes
             record.restores += 1
             record.restore_seconds += read_seconds
+            record.restore_bytes_read += read_bytes
             record.checkpoint_iteration = record.iterations_done
             record.samples_at_checkpoint = record.samples_processed
             self._trace(now, "migrate", job=job_name, seconds=delay)

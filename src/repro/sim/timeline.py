@@ -19,13 +19,13 @@ reports throughput (samples/second) — the metric Figure 10 plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # type-only: a runtime import would cycle through repro.core
     from ..core.modules import LayerModule
 from .allreduce import AllReduceModel
-from .cluster import GPUDevice
+from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
 
 __all__ = ["SchedulePolicy", "IterationTimeline", "TimelineSimulator"]
@@ -44,7 +44,13 @@ class SchedulePolicy:
 
 @dataclass
 class IterationTimeline:
-    """Result of simulating one iteration under one policy."""
+    """Result of simulating one iteration under one policy.
+
+    ``resource_seconds`` prices the iteration's occupancy of each shared
+    resource it traverses (e.g. ``{"fabric": ...}`` for a multi-machine
+    all-reduce) — the closed-form counterpart of the event engine's
+    per-resource occupancy windows.
+    """
 
     policy: str
     forward: float
@@ -52,12 +58,13 @@ class IterationTimeline:
     communication: float
     exposed_communication: float
     total: float
+    resource_seconds: Dict[str, float] = field(default_factory=dict)
 
     def throughput(self, samples_per_iteration: int) -> float:
         """Samples processed per second at this iteration time."""
         return samples_per_iteration / self.total if self.total > 0 else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "policy": self.policy,
             "forward": self.forward,
@@ -65,6 +72,7 @@ class IterationTimeline:
             "communication": self.communication,
             "exposed_communication": self.exposed_communication,
             "total": self.total,
+            "resource_seconds": dict(self.resource_seconds),
         }
 
 
@@ -122,6 +130,13 @@ class TimelineSimulator:
 
         exposed = max(communication - overlap_budget, 0.0)
         total = compute["forward"] + compute["backward"] + exposed
+        resource_seconds: Dict[str, float] = {}
+        if communication > 0.0:
+            # Price the occupancy on the resource the traffic traverses: the
+            # shared leaf–spine fabric for cross-machine rings, the private
+            # intra-node interconnect otherwise.
+            crosses_fabric = not self.allreduce.cluster.is_single_machine(self.workers)
+            resource_seconds[Cluster.FABRIC if crosses_fabric else "intra-node"] = communication
         return IterationTimeline(
             policy=policy,
             forward=compute["forward"],
@@ -129,6 +144,7 @@ class TimelineSimulator:
             communication=communication,
             exposed_communication=exposed,
             total=total,
+            resource_seconds=resource_seconds,
         )
 
     def throughput_sweep(self, policies: Optional[Sequence[str]] = None, frozen_prefix: int = 0,

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,6 +84,61 @@ class TestCkptCommands:
         assert main(["ckpt", "restore", "--workload", "resnet56_cifar10", "--system", "vanilla",
                      "--epochs", "2", "--dir", ckpt_dir]) == 0
         assert "nothing to resume" in capsys.readouterr().out
+
+
+class TestSimCommands:
+    SCENARIO = {
+        "cluster": {"num_machines": 2, "gpus_per_machine": 2, "storage_gbps": 10.0},
+        "jobs": [
+            {"name": "a", "modules": [4000, 8000, 6000], "batch_size": 16,
+             "num_workers": 2, "iterations": 4, "checkpoint_every": 2},
+            {"name": "b", "modules": [4000, 8000, 6000], "batch_size": 16,
+             "num_workers": 2, "iterations": 4, "checkpoint_every": 2,
+             "async_checkpoint": True},
+        ],
+        "gpu_speeds": [{"gpu": "node0:gpu0", "factor": 0.8}],
+    }
+
+    def _write(self, tmp_path, spec):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_sim_run_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim"])
+
+    def test_sim_run_prints_report(self, tmp_path, capsys):
+        assert main(["sim", "run", self._write(tmp_path, self.SCENARIO)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["makespan"] > 0.0
+        assert set(report["jobs"]) == {"a", "b"}
+        assert report["jobs"]["a"]["iterations_done"] == 4
+        assert report["resources"]["ckpt-store"]["total_bytes"] > 0
+        assert "trace" not in report
+
+    def test_sim_run_writes_out_file_and_is_deterministic(self, tmp_path, capsys):
+        scenario = self._write(tmp_path, self.SCENARIO)
+        out1, out2 = str(tmp_path / "r1.json"), str(tmp_path / "r2.json")
+        assert main(["sim", "run", scenario, "--out", out1, "--trace"]) == 0
+        assert main(["sim", "run", scenario, "--out", out2, "--trace"]) == 0
+        capsys.readouterr()
+        first, second = (json.loads(open(p).read()) for p in (out1, out2))
+        assert first == second
+        assert first["trace"], "trace requested but empty"
+
+    def test_sim_run_rejects_bad_scenarios(self, tmp_path, capsys):
+        bad_key = dict(self.SCENARIO, warp=1)
+        assert main(["sim", "run", self._write(tmp_path, bad_key)]) == 2
+        assert "unknown scenario keys" in capsys.readouterr().err
+
+        bad_resource = dict(self.SCENARIO)
+        bad_resource["jobs"] = [dict(self.SCENARIO["jobs"][0], storage="nope")]
+        assert main(["sim", "run", self._write(tmp_path, bad_resource)]) == 2
+        assert "unknown resource" in capsys.readouterr().err
+
+        assert main(["sim", "run", str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestCommands:
