@@ -1,6 +1,6 @@
 """Beyond the paper — freezing-aware checkpoints and cluster fault tolerance.
 
-Two scenarios exercise the checkpoint subsystem end to end:
+Three scenarios exercise the checkpoint subsystem end to end:
 
 * **Overhead curve** (next to the Figure 9 breakdown): an Egeria run
   checkpoints every epoch into a content-addressed store; the model+optimizer
@@ -9,11 +9,20 @@ Two scenarios exercise the checkpoint subsystem end to end:
 * **Failure injection**: a deterministic scheduler run kills a GPU mid-job;
   resuming from the last periodic checkpoint must beat restarting from
   scratch on makespan, with checkpoint/restore costs charged as link-bytes.
+* **Trainer-backed failure injection**: the same failure against a *live*
+  Egeria trainer (``TrainerJob``): the rollback restores the real trainer
+  from the matching content-addressed snapshot and re-seeks the data loader,
+  so the recovered run reproduces the clean run's final weights **bit for
+  bit** — and still finishes earlier than restarting from scratch.
 """
 
 from conftest import print_rows
 
-from repro.experiments import run_checkpoint_overhead, run_fault_tolerance
+from repro.experiments import (
+    run_checkpoint_overhead,
+    run_fault_tolerance,
+    run_trainer_fault_tolerance,
+)
 
 
 def test_checkpoint_overhead_curve(benchmark, scale):
@@ -77,4 +86,36 @@ def test_fault_tolerance_resume_beats_scratch(benchmark, scale):
     assert with_ckpt["restores"] == 1 and with_ckpt["restore_seconds"] > 0.0
     # ... and still finishes earlier than the from-scratch restart.
     assert data["with_checkpoint"]["makespan"] < data["from_scratch"]["makespan"]
+    assert data["makespan_saving"] > 0.0
+
+
+def test_trainer_backed_fault_injection_bit_exact_resume(benchmark, scale):
+    data = benchmark.pedantic(lambda: run_trainer_fault_tolerance(scale=scale, seed=0),
+                              rounds=1, iterations=1)
+
+    rows = []
+    for variant in ("clean", "resumed", "scratch"):
+        record = data[variant]["result"]["jobs"]["trainer"]
+        rows.append(dict(variant=variant, makespan=data[variant]["result"]["makespan"],
+                         **{key: record[key] for key in
+                            ("iterations_done", "checkpoints_taken", "restores",
+                             "restore_seconds", "failures")}))
+    print_rows("Trainer-backed failure injection: bit-exact resume vs restart", rows,
+               keys=["variant", "makespan", "iterations_done", "checkpoints_taken",
+                     "restores", "restore_seconds", "failures"])
+
+    resumed = data["resumed"]["result"]["jobs"]["trainer"]
+    scratch = data["scratch"]["result"]["jobs"]["trainer"]
+    # Both failure variants survive and complete every iteration.
+    assert resumed["failures"] == 1 and scratch["failures"] == 1
+    assert resumed["iterations_done"] == data["resumed"]["iterations"]
+    assert scratch["iterations_done"] == data["scratch"]["iterations"]
+    # The checkpointed trainer paid real snapshots and one restore read ...
+    assert data["resumed"]["num_checkpoints"] > 0
+    assert resumed["restores"] == 1 and resumed["restore_seconds"] > 0.0
+    # Acceptance: the rollback restored the live trainer bit-exactly — the
+    # recovered run reproduces the clean run's final weights ...
+    assert data["bit_exact_resume"], "resumed weights diverged from the clean run"
+    # ... and resume still beats restarting the simulated job from scratch.
+    assert data["resumed"]["result"]["makespan"] < data["scratch"]["result"]["makespan"]
     assert data["makespan_saving"] > 0.0

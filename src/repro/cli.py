@@ -19,10 +19,13 @@ Four subcommands mirror the typical workflows:
     checkpoint's (incremental) byte footprint, and ``restore`` resumes
     training bit-exactly from the latest (or a named) checkpoint.
 
-``python -m repro.cli sim run scenario.json [--out result.json]``
-    Replay a cluster scenario (jobs, shared link/storage resources,
-    failures, resizes) through the event-driven simulator and emit the
-    deterministic timeline/makespan report as JSON.
+``python -m repro.cli sim run scenario.json [--out result.json] [--policy fair]``
+    Replay a cluster scenario (jobs, shared link/storage resources —
+    optionally per-ToR fabric links — failures, resizes) through the
+    event-driven simulator and emit the deterministic timeline/makespan
+    report as JSON.  ``--policy`` overrides the scheduling discipline
+    (first-fit FIFO vs processor-sharing fair-share) of every resource the
+    scenario does not pin explicitly.
 """
 
 from __future__ import annotations
@@ -103,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_run.add_argument("scenario", help="path to the scenario JSON file")
     sim_run.add_argument("--out", default=None, help="write the report here instead of stdout")
     sim_run.add_argument("--trace", action="store_true", help="include the full scheduler trace")
+    sim_run.add_argument("--policy", default=None, choices=["fifo", "fair"],
+                         help="override the scheduling discipline of every shared resource "
+                              "the scenario does not pin explicitly (fifo: first-fit "
+                              "serialization, fair: processor sharing)")
     return parser
 
 
@@ -206,7 +213,8 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
 
 def _cmd_sim(args: argparse.Namespace) -> int:
     try:
-        report = run_scenario(args.scenario, include_trace=args.trace)
+        report = run_scenario(args.scenario, include_trace=args.trace,
+                              default_policy=args.policy)
     except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

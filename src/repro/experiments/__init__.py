@@ -23,7 +23,9 @@ from .figures import (
     run_storage_contention,
     run_table1_tta,
     run_table2_reference_precision,
+    run_topology_interference,
     run_trainer_backed_job,
+    run_trainer_fault_tolerance,
 )
 from .runners import SYSTEMS, ComparisonRow, build_trainer, compare_systems, format_rows, run_trainer
 from .workloads import SCALES, Workload, available_workloads, build_workload
@@ -52,7 +54,9 @@ __all__ = [
     "run_checkpoint_overhead",
     "run_fault_tolerance",
     "run_storage_contention",
+    "run_topology_interference",
     "run_trainer_backed_job",
+    "run_trainer_fault_tolerance",
     "run_fig11_freezing_decisions",
     "run_fig12_hyperparameters",
     "run_overhead_analysis",

@@ -11,9 +11,12 @@ Substitutes the paper's GPU testbed.  Two simulation paths coexist:
   sharing and elastic worker membership.
 
 Cross-job contention is a first-class concept: clusters carry named
-finite-bandwidth :class:`SharedResource` s (the leaf–spine fabric, the
-checkpoint storage target) whose :class:`ResourceTimeline` FIFO queues
-serialize concurrent jobs' all-reduce buckets and checkpoint transfers.
+finite-bandwidth :class:`SharedResource` s (the leaf–spine fabric —
+optionally broken into per-ToR uplinks plus a core — and the checkpoint
+storage target) whose per-resource timelines queue concurrent jobs'
+all-reduce buckets and checkpoint transfers under a pluggable discipline:
+first-fit FIFO serialization (:class:`ResourceTimeline`) or processor
+sharing (:class:`FairShareTimeline`), selected by ``policy`` per resource.
 :class:`TrainerJob` runs a *real* trainer inside the simulated cluster, and
 :func:`run_scenario` replays a plain-JSON scenario to a deterministic
 timeline/makespan report (the ``repro sim run`` CLI).
@@ -26,7 +29,15 @@ from .allreduce import AllReduceModel
 from .cluster import Cluster, ClusterSpec, GPUDevice, Machine, paper_testbed_cluster, single_node_cluster
 from .cost_model import CostModel, GPUSpec, IterationBreakdown
 from .engine import EngineIterationResult, EventDrivenEngine, EventQueue, SimEvent
-from .resources import ResourceOccupancy, ResourcePool, ResourceTimeline, SharedResource
+from .resources import (
+    BaseResourceTimeline,
+    FairShareTimeline,
+    ResourceOccupancy,
+    ResourcePool,
+    ResourceTimeline,
+    SharedResource,
+    build_timeline,
+)
 from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
@@ -57,8 +68,11 @@ __all__ = [
     "SchedulerResult",
     "SharedResource",
     "ResourceOccupancy",
+    "BaseResourceTimeline",
     "ResourceTimeline",
+    "FairShareTimeline",
     "ResourcePool",
+    "build_timeline",
     "build_scenario",
     "run_scenario",
 ]

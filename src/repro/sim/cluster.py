@@ -7,12 +7,24 @@ networkx graph so the all-reduce cost model can derive the bottleneck
 bandwidth between any pair of workers, and so tests can verify topology
 properties (paths traverse ToR/core switches, intra-machine traffic stays
 local, etc.).
+
+Besides the graph, every cluster registers **named shared resources** — the
+finite-bandwidth links and storage targets that concurrent jobs queue on
+(:mod:`repro.sim.resources`).  Two granularities of fabric exist:
+
+* the default flat :data:`Cluster.FABRIC` link, one queue for every
+  multi-machine all-reduce, and
+* with ``ClusterSpec(per_tor_fabric=True)``, **per-ToR uplinks plus a core
+  fabric**: each machine maps to a ToR switch, rack-local traffic queues
+  only on its own ToR's uplink, and cross-rack traffic additionally crosses
+  the shared core — so *where* the scheduler places a job changes which
+  resources it contends on (see :meth:`Cluster.links_crossed`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import networkx as nx
 
@@ -30,6 +42,7 @@ class GPUDevice:
 
     @property
     def name(self) -> str:
+        """Canonical ``machine:gpuN`` identifier used across the stack."""
         return f"{self.machine}:gpu{self.index}"
 
 
@@ -45,17 +58,28 @@ class Machine:
     pcie_gbps: float = 128.0
 
     def gpus(self) -> List[GPUDevice]:
+        """The machine's GPUs in local-index order."""
         return [GPUDevice(self.name, i) for i in range(self.num_gpus)]
 
 
 @dataclass
 class ClusterSpec:
-    """Counts and link speeds describing a cluster.
+    """Counts, link speeds and resource disciplines describing a cluster.
 
     ``fabric_gbps``/``storage_gbps`` size the two default shared resources
     (the leaf–spine fabric crossed by multi-machine all-reduce and the
     checkpoint storage target); ``None`` derives them from the ToR uplink
-    and NIC speeds respectively.
+    and NIC speeds respectively.  ``fabric_policy``/``storage_policy``
+    select each resource's scheduling discipline (``"fifo"`` first-fit
+    serialization or ``"fair"`` processor sharing, see
+    :mod:`repro.sim.resources`).
+
+    ``per_tor_fabric=True`` declares topology-aware fabric resources: one
+    uplink per ToR switch (at ``tor_uplink_gbps`` each, under
+    ``fabric_policy``) plus a shared core fabric (``core_gbps``; default
+    ``tor_uplink_gbps * num_core_switches``).  The scheduler then routes
+    each job's all-reduce through the links its placement actually crosses
+    instead of the flat default fabric.
     """
 
     num_machines: int = 5
@@ -66,6 +90,10 @@ class ClusterSpec:
     num_core_switches: int = 2
     fabric_gbps: Optional[float] = None
     storage_gbps: Optional[float] = None
+    fabric_policy: str = "fifo"
+    storage_policy: str = "fifo"
+    per_tor_fabric: bool = False
+    core_gbps: Optional[float] = None
 
 
 class Cluster:
@@ -76,39 +104,74 @@ class Cluster:
     jobs queue on (see :mod:`repro.sim.resources`).  Two defaults exist on
     every cluster: :data:`Cluster.FABRIC` (the leaf–spine fabric every
     multi-machine all-reduce crosses) and :data:`Cluster.CKPT_STORAGE` (the
-    checkpoint target all jobs write snapshots to).
+    checkpoint target all jobs write snapshots to).  With
+    ``ClusterSpec(per_tor_fabric=True)`` the fabric is additionally broken
+    into per-ToR uplinks plus a core resource, and
+    :meth:`links_crossed` reports which of them a worker set's all-reduce
+    traverses — rack-local jobs never touch the core.
     """
 
-    #: Default shared-link resource name (the leaf–spine fabric).
+    #: Default shared-link resource name (the flat leaf–spine fabric).
     FABRIC = "fabric"
     #: Default shared-storage resource name (the checkpoint target).
     CKPT_STORAGE = "ckpt-store"
+    #: Shared core-fabric resource name (per-ToR topology mode only).
+    CORE = "core"
 
     def __init__(self, spec: Optional[ClusterSpec] = None):
+        """Build the topology graph and register the default shared resources."""
         self.spec = spec or ClusterSpec()
         self.machines: List[Machine] = [
             Machine(name=f"node{i}", num_gpus=self.spec.gpus_per_machine, nic_gbps=self.spec.nic_gbps)
             for i in range(self.spec.num_machines)
         ]
         self.graph = nx.Graph()
+        #: Machine name -> index of the ToR switch its NIC uplinks to.
+        self._machine_tor: Dict[str, int] = {}
         self._build_topology()
         self.resources: Dict[str, SharedResource] = {}
         self._build_default_resources()
 
+    @staticmethod
+    def tor_link_name(tor_index: int) -> str:
+        """Resource name of one ToR switch's uplink (per-ToR topology mode)."""
+        return f"tor{tor_index}-uplink"
+
     def _build_default_resources(self) -> None:
+        """Register the default fabric/storage (and per-ToR) resources."""
         spec = self.spec
         self.add_resource(SharedResource(
             name=self.FABRIC,
             bandwidth_gbps=spec.fabric_gbps if spec.fabric_gbps is not None else spec.tor_uplink_gbps,
             kind="link",
             latency_seconds=50e-6,
+            policy=spec.fabric_policy,
         ))
         self.add_resource(SharedResource(
             name=self.CKPT_STORAGE,
             bandwidth_gbps=spec.storage_gbps if spec.storage_gbps is not None else spec.nic_gbps,
             kind="storage",
             latency_seconds=100e-6,
+            policy=spec.storage_policy,
         ))
+        if spec.per_tor_fabric:
+            for tor_index in range(spec.num_tor_switches):
+                self.add_resource(SharedResource(
+                    name=self.tor_link_name(tor_index),
+                    bandwidth_gbps=spec.tor_uplink_gbps,
+                    kind="link",
+                    latency_seconds=50e-6,
+                    policy=spec.fabric_policy,
+                ))
+            core_gbps = (spec.core_gbps if spec.core_gbps is not None
+                         else spec.tor_uplink_gbps * spec.num_core_switches)
+            self.add_resource(SharedResource(
+                name=self.CORE,
+                bandwidth_gbps=core_gbps,
+                kind="link",
+                latency_seconds=50e-6,
+                policy=spec.fabric_policy,
+            ))
 
     def add_resource(self, resource: SharedResource) -> SharedResource:
         """Register a named shared resource (duplicate names are rejected)."""
@@ -118,6 +181,7 @@ class Cluster:
         return resource
 
     def _build_topology(self) -> None:
+        """Wire machines, ToR and core switches into the bandwidth graph."""
         spec = self.spec
         core_switches = [f"core{i}" for i in range(spec.num_core_switches)]
         tor_switches = [f"tor{i}" for i in range(spec.num_tor_switches)]
@@ -128,8 +192,9 @@ class Cluster:
                 self.graph.add_edge(tor, core, gbps=spec.tor_uplink_gbps)
         for index, machine in enumerate(self.machines):
             self.graph.add_node(machine.name, kind="machine")
-            tor = tor_switches[index % len(tor_switches)]
-            self.graph.add_edge(machine.name, tor, gbps=machine.nic_gbps)
+            tor_index = index % len(tor_switches)
+            self._machine_tor[machine.name] = tor_index
+            self.graph.add_edge(machine.name, tor_switches[tor_index], gbps=machine.nic_gbps)
             for gpu in machine.gpus():
                 self.graph.add_node(gpu.name, kind="gpu")
                 self.graph.add_edge(gpu.name, machine.name, gbps=machine.pcie_gbps)
@@ -137,7 +202,41 @@ class Cluster:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    @property
+    def has_per_tor_fabric(self) -> bool:
+        """Whether this cluster declares per-ToR fabric resources."""
+        return self.spec.per_tor_fabric
+
+    def tor_index(self, machine: str) -> int:
+        """Index of the ToR switch ``machine`` uplinks to (``KeyError`` if unknown)."""
+        machine = str(machine)
+        if machine not in self._machine_tor:
+            raise KeyError(f"unknown machine {machine!r}; known: {sorted(self._machine_tor)}")
+        return self._machine_tor[machine]
+
+    def links_crossed(self, workers: List[GPUDevice]) -> List[str]:
+        """Per-ToR fabric resources a worker set's all-reduce traverses.
+
+        Empty when the cluster has no per-ToR fabric or the workers share a
+        single machine (intra-machine rings never touch the fabric).  A
+        rack-local multi-machine ring crosses only its own ToR's uplink; a
+        cross-rack ring crosses every involved ToR's uplink **plus** the
+        shared core — so placement locality directly decides which queues a
+        job's buckets wait in.
+        """
+        if not self.has_per_tor_fabric:
+            return []
+        machines = {w.machine for w in workers if isinstance(w, GPUDevice)}
+        if len(machines) <= 1:
+            return []
+        tors = sorted({self.tor_index(machine) for machine in machines})
+        links = [self.tor_link_name(tor) for tor in tors]
+        if len(tors) > 1:
+            links.append(self.CORE)
+        return links
+
     def all_gpus(self) -> List[GPUDevice]:
+        """Every GPU in the cluster, in machine order."""
         return [gpu for machine in self.machines for gpu in machine.gpus()]
 
     def workers(self, num_machines: Optional[int] = None, gpus_per_machine: Optional[int] = None) -> List[GPUDevice]:
@@ -170,14 +269,17 @@ class Cluster:
         return bandwidth
 
     def is_single_machine(self, workers: List[GPUDevice]) -> bool:
+        """Whether every worker sits on the same machine."""
         return len({w.machine for w in workers}) <= 1
 
     def describe(self) -> Dict[str, object]:
+        """Plain-data cluster summary (shape, links, registered resources)."""
         return {
             "machines": len(self.machines),
             "gpus": len(self.all_gpus()),
             "nic_gbps": self.spec.nic_gbps,
             "tor_uplink_gbps": self.spec.tor_uplink_gbps,
+            "per_tor_fabric": self.spec.per_tor_fabric,
             "nodes": self.graph.number_of_nodes(),
             "links": self.graph.number_of_edges(),
             "resources": {name: res.as_dict() for name, res in sorted(self.resources.items())},

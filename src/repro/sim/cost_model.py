@@ -61,6 +61,7 @@ class IterationBreakdown:
 
     @property
     def compute(self) -> float:
+        """Forward + backward compute seconds (communication excluded)."""
         return self.forward + self.backward
 
     @property
@@ -75,6 +76,7 @@ class IterationBreakdown:
         return self.forward + self.backward + exposed_comm + self.cache_overhead + self.reference_overhead
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-data view of the breakdown."""
         return {
             "forward": self.forward,
             "backward": self.backward,
@@ -108,6 +110,7 @@ class CostModel:
     def __init__(self, layer_modules: Sequence[LayerModule], batch_size: int = 32,
                  gpu: Optional[GPUSpec] = None, cache_overhead_fraction: float = 0.15,
                  reference_overhead_fraction: float = 0.015):
+        """Capture the module decomposition and accelerator description."""
         self.layer_modules = list(layer_modules)
         self.batch_size = batch_size
         self.gpu = gpu or GPUSpec()
@@ -118,12 +121,15 @@ class CostModel:
     # Per-module primitives
     # ------------------------------------------------------------------ #
     def module_forward_time(self, module: LayerModule) -> float:
+        """Seconds of forward compute one module costs per iteration."""
         return self.gpu.fp_seconds_per_param * module.num_params * self.batch_size
 
     def module_backward_time(self, module: LayerModule) -> float:
+        """Seconds of backward compute one module costs per iteration."""
         return self.module_forward_time(module) * self.gpu.bp_fp_ratio
 
     def module_gradient_bytes(self, module: LayerModule) -> int:
+        """Gradient payload of one module (fp32 parameters)."""
         return module.num_params * 4
 
     @staticmethod

@@ -24,11 +24,16 @@ over :class:`~repro.sim.cluster.Cluster` resources:
   multi-iteration runs leftover communication can hide behind the next
   iteration's forward pass under the ByteScheduler policies;
 * **shared-resource queues** — with ``link_resource`` set, every gradient
-  bucket additionally occupies the named shared resource's FIFO timeline
-  (:mod:`repro.sim.resources`), so concurrent jobs' buckets genuinely delay
+  bucket additionally occupies the named shared resource's timeline
+  (:mod:`repro.sim.resources`; first-fit FIFO or processor-sharing,
+  per-resource ``policy``), so concurrent jobs' buckets genuinely delay
   each other on the fabric instead of being scaled by a fudge factor; the
   same timelines price checkpoint/restore traffic on shared storage targets
-  (:meth:`EventDrivenEngine.storage_transfer`).
+  (:meth:`EventDrivenEngine.storage_transfer`).  ``link_resource`` also
+  accepts a *sequence* of resource names — the per-ToR topology mode, where
+  a bucket reserves capacity on every fabric link its placement crosses
+  (its ToR uplinks and, cross-rack, the core) and completes when the
+  slowest crossed link delivers it.
 
 The engine is deterministic: event ties are broken by insertion sequence and
 no randomness is used, so two runs with identical inputs produce identical
@@ -48,7 +53,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .allreduce import AllReduceModel
 from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
-from .resources import ResourcePool, ResourceTimeline, SharedResource
+from .resources import BaseResourceTimeline, ResourcePool, SharedResource
 from .timeline import SchedulePolicy
 
 __all__ = ["SimEvent", "EventQueue", "EngineIterationResult", "EventDrivenEngine"]
@@ -64,6 +69,7 @@ class SimEvent:
     payload: Tuple
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-data view of the event."""
         return {"time": self.time, "seq": self.seq, "kind": self.kind, "payload": self.payload}
 
 
@@ -75,21 +81,26 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
+        """Start with an empty heap and a zeroed insertion sequence."""
         self._heap: List[Tuple[float, int, str, Tuple]] = []
         self._seq = 0
 
     def push(self, time: float, kind: str, payload: Tuple = ()) -> None:
+        """Schedule an event at ``time`` (ties break by insertion order)."""
         heapq.heappush(self._heap, (float(time), self._seq, kind, payload))
         self._seq += 1
 
     def pop(self) -> SimEvent:
+        """Remove and return the earliest pending event."""
         time, seq, kind, payload = heapq.heappop(self._heap)
         return SimEvent(time, seq, kind, payload)
 
     def __len__(self) -> int:
+        """Number of pending events."""
         return len(self._heap)
 
     def __bool__(self) -> bool:
+        """Whether any event is still pending."""
         return bool(self._heap)
 
 
@@ -115,13 +126,16 @@ class EngineIterationResult:
 
     @property
     def total(self) -> float:
+        """Wall-clock span of the iteration."""
         return self.end_time - self.start_time
 
     @property
     def compute(self) -> float:
+        """Nominal forward + backward compute seconds."""
         return self.forward + self.backward
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-data timing breakdown (what the trainers record)."""
         return {
             "forward": self.forward,
             "backward": self.backward,
@@ -160,6 +174,7 @@ class EventDrivenEngine:
 
     def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
                  comm_scale: float = 1.0):
+        """Bind the engine to a cluster's topology and shared resources."""
         self.cluster = cluster
         self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
         #: Shared-resource timelines (links + storage); populated from the
@@ -177,10 +192,12 @@ class EventDrivenEngine:
     # ------------------------------------------------------------------ #
     @property
     def comm_scale(self) -> float:
+        """Deprecated flat multiplier on every transfer (1.0 = off)."""
         return self._comm_scale
 
     @comm_scale.setter
     def comm_scale(self, value: float) -> None:
+        """Accept-and-warn shim: scale ``k`` == a link at ``bandwidth/k``."""
         value = float(value)
         if value <= 0:
             raise ValueError("comm_scale must be positive")
@@ -196,11 +213,11 @@ class EventDrivenEngine:
     # ------------------------------------------------------------------ #
     # Scenario knobs
     # ------------------------------------------------------------------ #
-    def add_resource(self, resource: SharedResource) -> ResourceTimeline:
+    def add_resource(self, resource: SharedResource) -> BaseResourceTimeline:
         """Register an extra shared resource (name validated at use time)."""
         return self.resources.add(resource)
 
-    def resource_timeline(self, name: str) -> ResourceTimeline:
+    def resource_timeline(self, name: str) -> BaseResourceTimeline:
         """The named resource's timeline, syncing late cluster additions.
 
         Resources registered on the cluster *after* this engine was built
@@ -214,6 +231,7 @@ class EventDrivenEngine:
         if timeline is None:
             return self.resources.require(name)  # raises with the known names
         return timeline
+
     def set_gpu_speed(self, gpu_name: str, factor: float) -> None:
         """Set a GPU's relative speed (straggler < 1.0 < fast heterogeneous GPU)."""
         if factor <= 0:
@@ -221,6 +239,7 @@ class EventDrivenEngine:
         self.gpu_speed[str(gpu_name)] = float(factor)
 
     def speed_factor(self, gpu_name: str) -> float:
+        """The GPU's relative speed (1.0 when never overridden)."""
         return self.gpu_speed.get(str(gpu_name), 1.0)
 
     # ------------------------------------------------------------------ #
@@ -344,7 +363,7 @@ class EventDrivenEngine:
                            comm_seconds_per_byte: Optional[float] = None,
                            start_time: float = 0.0,
                            trace: Optional[List[SimEvent]] = None,
-                           link_resource: Optional[str] = None,
+                           link_resource: Optional[Union[str, Sequence[str]]] = None,
                            job_name: Optional[str] = None) -> EngineIterationResult:
         """Simulate one data-parallel iteration and return its timing breakdown.
 
@@ -365,12 +384,17 @@ class EventDrivenEngine:
             the trainers use so the event path and the closed-form path price
             communication identically.
         link_resource:
-            Name of a shared link resource to queue buckets on.  Buckets keep
-            their all-reduce transmission time but additionally occupy the
-            named resource's FIFO timeline, so buckets from *other* jobs
-            simulated on the same engine delay this job's communication (and
-            vice versa).  ``None`` keeps the job's communication private —
-            the single-job behaviour, identical to earlier revisions.
+            Shared link resource(s) to queue buckets on — one name, or a
+            sequence of names for topology-aware routing (every fabric link
+            the placement crosses: its ToR uplinks plus, cross-rack, the
+            core).  Buckets keep their all-reduce transmission time but
+            additionally occupy each named resource's timeline (FIFO or
+            fair-share per the resource's ``policy``), completing when the
+            slowest crossed link delivers them — so buckets from *other*
+            jobs simulated on the same engine delay this job's
+            communication (and vice versa).  ``None`` keeps the job's
+            communication private — the single-job behaviour, identical to
+            earlier revisions.
         job_name:
             Owner recorded on the shared resource's occupancy windows (byte
             accounting and cancellation on preemption/resize).
@@ -384,7 +408,12 @@ class EventDrivenEngine:
         num_modules = len(cost_model.layer_modules)
         frozen_prefix = max(0, min(frozen_prefix, num_modules))
         bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
-        link_timeline = self.resource_timeline(link_resource) if link_resource is not None else None
+        if link_resource is None:
+            link_timelines: List[BaseResourceTimeline] = []
+        elif isinstance(link_resource, str):
+            link_timelines = [self.resource_timeline(link_resource)]
+        else:
+            link_timelines = [self.resource_timeline(name) for name in link_resource]
 
         queue = EventQueue()
         num_events = 0
@@ -413,14 +442,16 @@ class EventDrivenEngine:
                 return
             _priority, module_index = heapq.heappop(pending_buckets)
             transmit = self._bucket_seconds(cost_model, module_index, worker_list, comm_seconds_per_byte)
-            if link_timeline is not None and transmit > 0.0:
-                # Queue on the shared resource: the bucket may wait for other
-                # jobs' in-flight transfers before its transmission window.
+            end = now + transmit
+            if link_timelines and transmit > 0.0:
+                # Queue on every crossed shared link: the bucket may wait for
+                # (or share capacity with) other jobs' in-flight transfers,
+                # and completes when the slowest crossed link delivers it.
                 num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
-                _start, end = link_timeline.reserve(now, transmit, num_bytes=num_bytes,
-                                                    job=job_name, kind="allreduce")
-            else:
-                end = now + transmit
+                for timeline in link_timelines:
+                    _start, link_end = timeline.reserve(now, transmit, num_bytes=num_bytes,
+                                                        job=job_name, kind="allreduce")
+                    end = max(end, link_end)
             link_busy = True
             queue.push(end, "comm_done", (module_index, transmit))
 

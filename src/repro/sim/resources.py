@@ -8,26 +8,37 @@ that sharing with a flat ``comm_scale`` fair-share multiplier; this module
 makes it a first-class system concept instead:
 
 * :class:`SharedResource` — a named link or storage target with a finite
-  bandwidth and a fixed per-transfer latency;
-* :class:`ResourceTimeline` — the per-resource event queue.  Transfers are
-  serialized on the resource with first-fit (gap-filling) placement: a
-  transfer requested with ``earliest_start = t`` begins at the start of the
-  first idle window of sufficient length at or after ``t``.  Two jobs whose
+  bandwidth, a fixed per-transfer latency and a **scheduling discipline**
+  (``policy="fifo"`` or ``policy="fair"``);
+* :class:`ResourceTimeline` — the FIFO (first-fit, gap-filling) per-resource
+  event queue.  Transfers are serialized on the resource: a transfer
+  requested with ``earliest_start = t`` begins at the start of the first
+  idle window of sufficient length at or after ``t``.  Two jobs whose
   transfers actually overlap in simulated time genuinely delay each other,
   while a transfer requested while the resource is idle proceeds
   immediately — even when another job already holds a window further in the
-  future (the scheduler reserves checkpoint windows ahead of time);
+  future (the scheduler reserves checkpoint windows ahead of time).
+  Cancelling a window **re-flows** the transfers queued behind it: they are
+  re-placed at their earliest feasible start instead of keeping their
+  committed slots;
+* :class:`FairShareTimeline` — the processor-sharing alternative: instead of
+  serializing, the resource splits its capacity evenly among all transfers
+  active at each instant (piecewise-constant rates integrated between
+  arrival/completion breakpoints), the classic fluid model of a multiplexed
+  fabric;
 * :class:`ResourcePool` — the engine-side registry of timelines, validated
   by name at call time like job and GPU names.
 
-The discipline is deterministic (placement depends only on the request
+Both disciplines are deterministic (placement depends only on the request
 sequence, which the scheduler's event heap already makes deterministic) and
-conserves bytes (every reserved transfer is recorded with its payload size
-and owner).  For request streams issued in non-decreasing
-``earliest_start`` order it is also monotone: scaling every transfer
-duration down (a faster resource) moves every start and end earlier, so
-makespans never grow when bandwidth grows.  Those invariants are what the
-hypothesis property suite asserts.
+conserve bytes (every reserved transfer is recorded with its payload size
+and owner).  The FIFO discipline is also monotone for request streams issued
+in non-decreasing ``earliest_start`` order: scaling every transfer duration
+down (a faster resource) moves every start and end earlier, so makespans
+never grow when bandwidth grows.  Processor sharing is work-conserving, so
+its makespan never exceeds the FIFO makespan on the same request stream.
+Those invariants are what the hypothesis property suite asserts; see
+``docs/resources.md`` for the full semantics.
 """
 
 from __future__ import annotations
@@ -38,7 +49,15 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cost_model import CostModel
 
-__all__ = ["SharedResource", "ResourceOccupancy", "ResourceTimeline", "ResourcePool"]
+__all__ = [
+    "SharedResource",
+    "ResourceOccupancy",
+    "BaseResourceTimeline",
+    "ResourceTimeline",
+    "FairShareTimeline",
+    "ResourcePool",
+    "build_timeline",
+]
 
 
 @dataclass(frozen=True)
@@ -53,23 +72,34 @@ class SharedResource:
         Capacity of the resource in gigabits per second.
     kind:
         ``"link"`` (network fabric) or ``"storage"`` (checkpoint target);
-        informational — both kinds share the same queueing discipline.
+        informational — both kinds share the same queueing disciplines.
     latency_seconds:
         Fixed per-transfer setup cost (ring launch, storage round trip).
+    policy:
+        Scheduling discipline of the resource's timeline: ``"fifo"``
+        (first-fit serialization, :class:`ResourceTimeline`) or ``"fair"``
+        (processor sharing, :class:`FairShareTimeline`).
     """
+
+    #: Valid scheduling disciplines for a shared resource.
+    POLICIES = ("fifo", "fair")
 
     name: str
     bandwidth_gbps: float
     kind: str = "link"
     latency_seconds: float = 0.0
+    policy: str = "fifo"
 
     def __post_init__(self) -> None:
+        """Validate bandwidth, kind, latency and policy eagerly."""
         if self.bandwidth_gbps <= 0:
             raise ValueError(f"resource {self.name!r}: bandwidth must be positive")
         if self.kind not in ("link", "storage"):
             raise ValueError(f"resource {self.name!r}: kind must be 'link' or 'storage'")
         if self.latency_seconds < 0:
             raise ValueError(f"resource {self.name!r}: latency must be non-negative")
+        if self.policy not in self.POLICIES:
+            raise ValueError(f"resource {self.name!r}: policy must be one of {self.POLICIES}")
 
     def transfer_seconds(self, num_bytes: int, cap_gbps: Optional[float] = None) -> float:
         """Uncontended time to move ``num_bytes`` through this resource.
@@ -86,83 +116,80 @@ class SharedResource:
         return self.latency_seconds + CostModel.transfer_seconds_at(num_bytes, bandwidth)
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-data view of the resource (used in scheduler summaries)."""
         return {
             "name": self.name,
             "bandwidth_gbps": self.bandwidth_gbps,
             "kind": self.kind,
             "latency_seconds": self.latency_seconds,
+            "policy": self.policy,
         }
 
 
 @dataclass(frozen=True)
 class ResourceOccupancy:
-    """One reserved transfer window on a shared resource."""
+    """One reserved transfer window on a shared resource.
+
+    ``earliest_start`` preserves the caller's requested start (what the
+    window can be re-flowed back to after a cancellation) and ``seq`` the
+    reservation order (what re-flow replays), distinct from the committed
+    ``start``/``end`` the discipline assigned.
+    """
 
     start: float
     end: float
     num_bytes: int
     job: Optional[str]
     kind: str
+    earliest_start: float = 0.0
+    seq: int = -1
 
     @property
     def seconds(self) -> float:
+        """Committed duration of the window."""
         return self.end - self.start
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-data view of the window."""
         return {"start": self.start, "end": self.end, "num_bytes": self.num_bytes,
                 "job": self.job, "kind": self.kind}
 
 
-class ResourceTimeline:
-    """Occupancy queue of one shared resource (first-fit placement).
+class BaseResourceTimeline:
+    """Shared bookkeeping for the per-resource scheduling disciplines.
 
-    A transfer requested with ``earliest_start = t`` begins at the start of
-    the first idle window of sufficient length at or after ``t`` — transfers
-    that overlap in simulated time serialize, while an idle resource serves a
-    request immediately even when other windows are already reserved further
-    in the future.  Every reservation is recorded with its byte payload and
-    owning job, so per-resource traffic can be audited afterwards
-    (:meth:`total_bytes`, :meth:`bytes_by_job`) and reservations made for a
-    later-invalidated iteration can be cancelled (:meth:`cancel`).
+    Subclasses implement :meth:`reserve` and :meth:`cancel`; everything else
+    (byte-priced reservations, per-job/per-kind accounting, plain-data
+    summaries) is discipline-independent.
     """
 
     def __init__(self, resource: SharedResource):
+        """Wrap ``resource`` with an initially empty occupancy record."""
         self.resource = resource
-        #: Reserved windows, kept sorted by start time (they never overlap).
+        #: Committed windows; FIFO keeps them disjoint, fair-share windows
+        #: may overlap (capacity is split, not serialized).
         self._records: List[ResourceOccupancy] = []
         self._busy_until = 0.0
+        self._seq = 0
 
     @property
     def busy_until(self) -> float:
+        """Latest committed window end (0.0 while the timeline is empty)."""
         return self._busy_until
 
     @property
     def records(self) -> Tuple[ResourceOccupancy, ...]:
+        """Snapshot of the committed occupancy windows."""
         return tuple(self._records)
-
-    def _first_fit(self, earliest_start: float, seconds: float) -> float:
-        """Start of the first idle window of length ``seconds`` at/after
-        ``earliest_start`` (records are sorted and disjoint: one pass)."""
-        candidate = earliest_start
-        for window in self._records:
-            if window.start >= candidate + seconds:
-                break  # the gap before this window fits
-            if window.end > candidate:
-                candidate = window.end
-        return candidate
 
     def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
                 job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
         """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window."""
-        if seconds < 0:
-            raise ValueError("cannot reserve a negative duration")
-        start = self._first_fit(float(earliest_start), seconds)
-        end = start + seconds
-        record = ResourceOccupancy(start, end, int(num_bytes), job, kind)
-        position = bisect.bisect_left([r.start for r in self._records], start)
-        self._records.insert(position, record)
-        self._busy_until = max(self._busy_until, end)
-        return start, end
+        raise NotImplementedError
+
+    def cancel(self, job: str, after_time: float) -> int:
+        """Drop ``job``'s not-yet-started reservations; returns how many."""
+        raise NotImplementedError
 
     def reserve_bytes(self, earliest_start: float, num_bytes: int, job: Optional[str] = None,
                       kind: str = "transfer", cap_gbps: Optional[float] = None) -> Tuple[float, float]:
@@ -170,38 +197,19 @@ class ResourceTimeline:
         seconds = self.resource.transfer_seconds(num_bytes, cap_gbps=cap_gbps)
         return self.reserve(earliest_start, seconds, num_bytes=num_bytes, job=job, kind=kind)
 
-    def cancel(self, job: str, after_time: float) -> int:
-        """Drop ``job``'s reservations starting at or after ``after_time``.
-
-        Called when a resize/failure/preemption invalidates an in-flight
-        iteration whose transfers were already placed on the timeline; windows
-        that started before ``after_time`` stay (the bytes were on the wire).
-        Returns the number of cancelled reservations.
-
-        Known approximation: transfers that were already placed *behind* a
-        now-cancelled window keep their committed start times (their
-        completion events are already on the scheduler heap), so contention
-        is over-estimated right after a cancellation.  New requests do reuse
-        the freed gaps.
-        """
-        kept = [r for r in self._records
-                if not (r.job == job and r.start >= after_time)]
-        cancelled = len(self._records) - len(kept)
-        if cancelled:
-            self._records = kept
-            self._busy_until = max((r.end for r in kept), default=0.0)
-        return cancelled
-
     # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #
     def busy_seconds(self) -> float:
+        """Total capacity-seconds of work committed to the resource."""
         return sum(r.seconds for r in self._records)
 
     def total_bytes(self) -> int:
+        """Total payload bytes across every committed window."""
         return sum(r.num_bytes for r in self._records)
 
     def bytes_by_job(self) -> Dict[str, int]:
+        """Payload bytes grouped by owning job (``<anonymous>`` if unowned)."""
         totals: Dict[str, int] = {}
         for record in self._records:
             key = record.job if record.job is not None else "<anonymous>"
@@ -209,12 +217,14 @@ class ResourceTimeline:
         return totals
 
     def bytes_by_kind(self) -> Dict[str, int]:
+        """Payload bytes grouped by transfer kind (allreduce, checkpoint, ...)."""
         totals: Dict[str, int] = {}
         for record in self._records:
             totals[record.kind] = totals.get(record.kind, 0) + record.num_bytes
         return totals
 
     def as_dict(self) -> Dict[str, object]:
+        """Deterministic plain-data summary of the timeline's occupancy."""
         return {
             "resource": self.resource.as_dict(),
             "busy_seconds": self.busy_seconds(),
@@ -226,34 +236,356 @@ class ResourceTimeline:
         }
 
 
+class ResourceTimeline(BaseResourceTimeline):
+    """Occupancy queue of one shared resource (first-fit FIFO placement).
+
+    A transfer requested with ``earliest_start = t`` begins at the start of
+    the first idle window of sufficient length at or after ``t`` — transfers
+    that overlap in simulated time serialize, while an idle resource serves a
+    request immediately even when other windows are already reserved further
+    in the future.  Every reservation is recorded with its byte payload and
+    owning job, so per-resource traffic can be audited afterwards
+    (:meth:`total_bytes`, :meth:`bytes_by_job`) and reservations made for a
+    later-invalidated iteration can be cancelled (:meth:`cancel`) — which
+    re-flows the transfers queued behind the freed windows.
+    """
+
+    def _first_fit(self, earliest_start: float, seconds: float) -> float:
+        """Start of the first idle window of length ``seconds`` at/after
+        ``earliest_start`` (records are sorted and disjoint: one pass).
+
+        Windows that end before ``earliest_start`` cannot constrain the
+        placement, and being disjoint and start-sorted, every window before
+        the last one starting at or before ``earliest_start`` does — so the
+        scan starts there instead of at the head of the queue.
+        """
+        candidate = earliest_start
+        if candidate >= self._busy_until:
+            return candidate  # past every committed window
+        index = max(bisect.bisect_right(self._starts, candidate) - 1, 0)
+        for position in range(index, len(self._records)):
+            window = self._records[position]
+            if window.start >= candidate + seconds:
+                break  # the gap before this window fits
+            if window.end > candidate:
+                candidate = window.end
+        return candidate
+
+    def __init__(self, resource: SharedResource):
+        """Wrap ``resource`` with an empty first-fit occupancy queue."""
+        super().__init__(resource)
+        #: Window start times, kept parallel to ``_records`` so insertion
+        #: points come from one bisect instead of rebuilding a key list.
+        self._starts: List[float] = []
+
+    def _insert(self, record: ResourceOccupancy) -> None:
+        """Insert a committed window, keeping records sorted by start time."""
+        position = bisect.bisect_left(self._starts, record.start)
+        self._records.insert(position, record)
+        self._starts.insert(position, record.start)
+        self._busy_until = max(self._busy_until, record.end)
+
+    def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
+                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
+        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window."""
+        if seconds < 0:
+            raise ValueError("cannot reserve a negative duration")
+        earliest_start = float(earliest_start)
+        start = self._first_fit(earliest_start, seconds)
+        end = start + seconds
+        self._insert(ResourceOccupancy(start, end, int(num_bytes), job, kind,
+                                       earliest_start=earliest_start, seq=self._seq))
+        self._seq += 1
+        return start, end
+
+    def cancel(self, job: str, after_time: float) -> int:
+        """Drop ``job``'s reservations starting at or after ``after_time``.
+
+        Called when a resize/failure/preemption invalidates an in-flight
+        iteration whose transfers were already placed on the timeline; windows
+        that started before ``after_time`` stay (the bytes were on the wire).
+        Returns the number of cancelled reservations.
+
+        Transfers that were queued *behind* a cancelled window are
+        **re-flowed**: every window that had not started by ``after_time`` is
+        re-placed, in committed on-wire order (start, then reservation
+        sequence), at its earliest feasible start —
+        ``max(earliest_start, after_time)`` first-fit against the surviving
+        windows — so the freed capacity benefits the transfers that were
+        actually waiting for it, not just future requests.  Replaying in
+        committed-start order makes re-flow provably never move a window
+        later: when a window is re-placed, every window previously committed
+        left of it has only moved further left, so its old slot is still
+        free.  Completion events other components already derived from the
+        old quotes keep their committed times (the scheduler's event heap is
+        not rewritten); the timeline is the audit of when the resource
+        actually carried the bytes.
+        """
+        kept: List[ResourceOccupancy] = []
+        cancelled = 0
+        for record in self._records:
+            if record.job == job and record.start >= after_time:
+                cancelled += 1
+            else:
+                kept.append(record)
+        if not cancelled:
+            return 0
+        started = [r for r in kept if r.start < after_time]
+        queued = sorted((r for r in kept if r.start >= after_time),
+                        key=lambda r: (r.start, r.seq))
+        self._records = sorted(started, key=lambda r: (r.start, r.seq))
+        self._starts = [r.start for r in self._records]
+        self._busy_until = max((r.end for r in self._records), default=0.0)
+        for record in queued:
+            # Re-place at the earliest feasible start: never before the
+            # original request, never before the cancellation instant (the
+            # transfer was demonstrably not on the wire by then).
+            earliest = max(record.earliest_start, after_time)
+            start = self._first_fit(earliest, record.seconds)
+            self._insert(ResourceOccupancy(start, start + record.seconds, record.num_bytes,
+                                           record.job, record.kind,
+                                           earliest_start=record.earliest_start,
+                                           seq=record.seq))
+        return cancelled
+
+
+@dataclass
+class _FairTransfer:
+    """One transfer in a processor-sharing timeline (demand in capacity-seconds)."""
+
+    arrival: float
+    demand: float
+    num_bytes: int
+    job: Optional[str]
+    kind: str
+    seq: int
+
+
+class FairShareTimeline(BaseResourceTimeline):
+    """Processor-sharing occupancy of one shared resource.
+
+    The fluid model of a multiplexed fabric: at every instant the resource's
+    capacity is split **evenly** among the transfers active at that instant
+    (arrived, not yet complete), so ``k`` concurrent transfers each progress
+    at ``1/k`` of the line rate.  Completion times are computed by
+    integrating the piecewise-constant rates between breakpoints (arrivals
+    and completions) — byte-conserving by construction, deterministic, and
+    work-conserving: the resource is never idle while work is pending, so
+    the fair-share makespan never exceeds the FIFO makespan on the same
+    request stream (a property the hypothesis suite asserts).
+
+    Service begins at the transfer's ``earliest_start`` (there is no queueing
+    delay under processor sharing, only a reduced rate), so a committed
+    window's ``start`` equals the request time and its ``end`` is the
+    integrated completion.  A transfer arriving later **revises** the
+    recorded ends of transfers still in flight (they now share capacity);
+    the ``(start, end)`` returned by :meth:`reserve` reflects everything
+    known at quote time and is the commitment earlier callers keep, while
+    :attr:`records` always shows the fully re-flowed schedule.
+    """
+
+    def __init__(self, resource: SharedResource):
+        """Wrap ``resource`` with an empty processor-sharing schedule."""
+        super().__init__(resource)
+        self._transfers: List[_FairTransfer] = []
+        #: seq -> completion time for every admitted transfer.
+        self._ends: Dict[int, float] = {}
+        #: Transfers of the current *open* busy period — the only ones a new
+        #: arrival can interact with.  Transfers whose busy period already
+        #: closed (every end <= ``_closed_until`` <= every later arrival)
+        #: are immutable and never re-swept, keeping reserve() proportional
+        #: to the open period, not the whole history.
+        self._open: List[_FairTransfer] = []
+        self._closed_until = 0.0
+        self._open_max_end = 0.0
+
+    @property
+    def records(self) -> Tuple[ResourceOccupancy, ...]:
+        """The fully re-flowed schedule, sorted by (start, admission order)."""
+        return tuple(sorted(
+            (ResourceOccupancy(t.arrival, self._ends[t.seq], t.num_bytes, t.job, t.kind,
+                               earliest_start=t.arrival, seq=t.seq)
+             for t in self._transfers),
+            key=lambda r: (r.start, r.seq)))
+
+    def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
+                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
+        """Admit a transfer of ``seconds`` capacity-seconds; returns ``(start, end)``.
+
+        ``start`` is ``earliest_start`` itself (processor sharing serves
+        immediately at a shared rate); ``end`` is the completion under the
+        recomputed fair-share schedule.
+        """
+        if seconds < 0:
+            raise ValueError("cannot reserve a negative duration")
+        transfer = _FairTransfer(float(earliest_start), float(seconds), int(num_bytes),
+                                 job, kind, self._seq)
+        self._seq += 1
+        self._transfers.append(transfer)
+        if transfer.arrival < self._closed_until:
+            # Out-of-order arrival into already-closed history: rebuild the
+            # whole schedule (rare — scheduler requests come in time order).
+            self._resweep_all()
+        else:
+            if self._open and transfer.arrival >= self._open_max_end:
+                # The open period drained before this arrival: close it.
+                self._closed_until = self._open_max_end
+                self._open = []
+            self._open.append(transfer)
+            self._sweep_open()
+        return transfer.arrival, self._ends[transfer.seq]
+
+    def cancel(self, job: str, after_time: float) -> int:
+        """Drop ``job``'s transfers arriving at or after ``after_time``.
+
+        Transfers that arrived before ``after_time`` have been in (shared)
+        service since their arrival, so they stay in full — the conservative
+        analogue of FIFO's "bytes on the wire" rule.  The surviving schedule
+        is recomputed, which re-flows every affected transfer automatically:
+        completions move earlier the moment the cancelled demand disappears.
+        Returns the number of cancelled transfers.
+        """
+        kept = [t for t in self._transfers
+                if not (t.job == job and t.arrival >= after_time)]
+        cancelled = len(self._transfers) - len(kept)
+        if cancelled:
+            self._transfers = kept
+            self._resweep_all()
+        return cancelled
+
+    def busy_seconds(self) -> float:
+        """Total capacity-seconds of admitted demand (not wall-clock spans).
+
+        Overlapping fair-share windows each get a fraction of the capacity,
+        so summing wall-clock window lengths would double-count; the demand
+        sum equals what the FIFO discipline would report for the same
+        request stream.
+        """
+        return sum(t.demand for t in self._transfers)
+
+    def total_bytes(self) -> int:
+        """Total payload bytes across every admitted transfer."""
+        return sum(t.num_bytes for t in self._transfers)
+
+    def bytes_by_job(self) -> Dict[str, int]:
+        """Payload bytes grouped by owning job (``<anonymous>`` if unowned)."""
+        totals: Dict[str, int] = {}
+        for transfer in self._transfers:
+            key = transfer.job if transfer.job is not None else "<anonymous>"
+            totals[key] = totals.get(key, 0) + transfer.num_bytes
+        return totals
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Payload bytes grouped by transfer kind (allreduce, checkpoint, ...)."""
+        totals: Dict[str, int] = {}
+        for transfer in self._transfers:
+            totals[transfer.kind] = totals.get(transfer.kind, 0) + transfer.num_bytes
+        return totals
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic plain-data summary of the timeline's occupancy."""
+        return {
+            "resource": self.resource.as_dict(),
+            "busy_seconds": self.busy_seconds(),
+            "busy_until": self.busy_until,
+            "num_transfers": len(self._transfers),
+            "total_bytes": self.total_bytes(),
+            "bytes_by_job": dict(sorted(self.bytes_by_job().items())),
+            "bytes_by_kind": dict(sorted(self.bytes_by_kind().items())),
+        }
+
+    def _resweep_all(self) -> None:
+        """Rebuild the schedule from scratch (cancel / out-of-order arrivals)."""
+        self._ends = {}
+        self._open = list(self._transfers)
+        self._closed_until = 0.0
+        self._busy_until = 0.0
+        self._sweep_open()
+
+    def _sweep_open(self) -> None:
+        """Recompute the open busy period's schedule; updates the end cache.
+
+        A single chronological sweep over arrival/completion breakpoints:
+        between breakpoints the active set is constant and each active
+        transfer's remaining demand drains at ``1/len(active)``.  Ties
+        (simultaneous completions) resolve exactly because tied transfers
+        carry identical remaining demand.
+        """
+        order = sorted(self._open, key=lambda t: (t.arrival, t.seq))
+        remaining: Dict[int, float] = {}
+        index, now = 0, 0.0
+        total = len(order)
+        open_max_end = 0.0
+        while index < total or remaining:
+            if not remaining:
+                now = order[index].arrival
+            while index < total and order[index].arrival <= now:
+                remaining[order[index].seq] = order[index].demand
+                index += 1
+            if not remaining:
+                continue  # jump to the next arrival
+            next_arrival = order[index].arrival if index < total else float("inf")
+            min_left = min(remaining.values())
+            finish = now + min_left * len(remaining)
+            if finish <= next_arrival:
+                done = [seq for seq, left in remaining.items() if left == min_left]
+                for seq in list(remaining):
+                    remaining[seq] -= min_left
+                for seq in done:
+                    del remaining[seq]
+                    self._ends[seq] = finish
+                    open_max_end = max(open_max_end, finish)
+                now = finish
+            else:
+                progress = (next_arrival - now) / len(remaining)
+                for seq in list(remaining):
+                    remaining[seq] -= progress
+                now = next_arrival
+        self._open_max_end = open_max_end
+        self._busy_until = max(self._busy_until, open_max_end)
+
+
+def build_timeline(resource: SharedResource) -> BaseResourceTimeline:
+    """Construct the timeline class matching the resource's ``policy``."""
+    if resource.policy == "fair":
+        return FairShareTimeline(resource)
+    return ResourceTimeline(resource)
+
+
 class ResourcePool:
-    """Named registry of :class:`ResourceTimeline` s held by the engine."""
+    """Named registry of per-resource timelines held by the engine."""
 
     def __init__(self, resources: Optional[Iterable[SharedResource]] = None):
-        self._timelines: Dict[str, ResourceTimeline] = {}
+        """Build timelines for ``resources`` (policy-dispatched per resource)."""
+        self._timelines: Dict[str, BaseResourceTimeline] = {}
         for resource in resources or ():
             self.add(resource)
 
-    def add(self, resource: SharedResource) -> ResourceTimeline:
+    def add(self, resource: SharedResource) -> BaseResourceTimeline:
+        """Register a resource under its (unique) name; returns its timeline."""
         if resource.name in self._timelines:
             raise ValueError(f"duplicate resource name {resource.name!r}")
-        timeline = ResourceTimeline(resource)
+        timeline = build_timeline(resource)
         self._timelines[resource.name] = timeline
         return timeline
 
     def names(self) -> List[str]:
+        """Sorted names of every registered resource."""
         return sorted(self._timelines)
 
     def __contains__(self, name: object) -> bool:
+        """Whether a resource of that name is registered."""
         return name in self._timelines
 
     def __len__(self) -> int:
+        """Number of registered resources."""
         return len(self._timelines)
 
-    def get(self, name: str) -> Optional[ResourceTimeline]:
+    def get(self, name: str) -> Optional[BaseResourceTimeline]:
+        """The named timeline, or ``None`` when unknown."""
         return self._timelines.get(str(name))
 
-    def require(self, name: str) -> ResourceTimeline:
+    def require(self, name: str) -> BaseResourceTimeline:
         """Validate a resource name at call time (like job/GPU names)."""
         timeline = self._timelines.get(str(name))
         if timeline is None:
@@ -261,7 +593,9 @@ class ResourcePool:
         return timeline
 
     def cancel_job(self, job: str, after_time: float) -> int:
+        """Cancel (and re-flow) the job's pending transfers on every timeline."""
         return sum(timeline.cancel(job, after_time) for timeline in self._timelines.values())
 
     def summary(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic name-sorted plain-data summary of every timeline."""
         return {name: timeline.as_dict() for name, timeline in sorted(self._timelines.items())}

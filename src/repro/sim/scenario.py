@@ -11,9 +11,11 @@ Scenario schema (all keys optional unless noted)::
 
     {
       "cluster":   {"num_machines": 5, "gpus_per_machine": 2, "nic_gbps": 40.0,
-                    "tor_uplink_gbps": 100.0, "fabric_gbps": null, "storage_gbps": null},
-      "resources": [{"name": "scratch", "bandwidth_gbps": 10.0,
-                     "kind": "storage", "latency_seconds": 0.0001}],
+                    "tor_uplink_gbps": 100.0, "fabric_gbps": null, "storage_gbps": null,
+                    "fabric_policy": "fifo", "storage_policy": "fifo",
+                    "per_tor_fabric": false, "core_gbps": null},
+      "resources": [{"name": "scratch", "bandwidth_gbps": 10.0, "kind": "storage",
+                     "latency_seconds": 0.0001, "policy": "fifo"}],
       "placement": "fifo",
       "seed": 0,
       "jobs": [
@@ -39,6 +41,17 @@ Jobs take their cost model either from a named experiment workload
 (``workload``/``scale``) or from an explicit ``modules`` list of per-module
 parameter counts; exactly one of the two must be given.  Unknown keys raise
 ``ValueError`` so typos fail loudly instead of silently changing the run.
+
+Resource scheduling disciplines (``"fifo"`` first-fit serialization vs
+``"fair"`` processor sharing — see :mod:`repro.sim.resources` and
+``docs/resources.md``) are set per resource: cluster-default resources via
+``fabric_policy``/``storage_policy``, extra resources via their own
+``policy`` key.  ``run_scenario(..., default_policy=...)`` (the CLI's
+``--policy`` flag) overrides the discipline of every resource the scenario
+does not pin explicitly.  ``placement`` accepts ``"fifo"``,
+``"round_robin"`` and ``"tor_pack"`` (rack packing; pair it with
+``"per_tor_fabric": true`` so placement locality decides which fabric links
+a job contends on).
 """
 
 from __future__ import annotations
@@ -54,7 +67,9 @@ from .scheduler import ClusterScheduler, SimJob
 __all__ = ["build_scenario", "run_scenario"]
 
 _CLUSTER_KEYS = {"num_machines", "gpus_per_machine", "nic_gbps", "tor_uplink_gbps",
-                 "num_tor_switches", "num_core_switches", "fabric_gbps", "storage_gbps"}
+                 "num_tor_switches", "num_core_switches", "fabric_gbps", "storage_gbps",
+                 "fabric_policy", "storage_policy", "per_tor_fabric", "core_gbps"}
+_RESOURCE_KEYS = {"name", "bandwidth_gbps", "kind", "latency_seconds", "policy"}
 _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers",
              "iterations", "policy", "frozen_prefix", "cached_fp",
              "include_reference_overhead", "arrival_time", "checkpoint_every",
@@ -95,13 +110,29 @@ def _job_cost_model(spec: Dict) -> CostModel:
     return CostModel(modules, batch_size=int(spec.get("batch_size", workload.batch_size)))
 
 
-def build_scenario(spec: Dict) -> ClusterScheduler:
-    """Construct a fully-wired :class:`ClusterScheduler` from a scenario dict."""
+def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterScheduler:
+    """Construct a fully-wired :class:`ClusterScheduler` from a scenario dict.
+
+    ``default_policy`` (``"fifo"``/``"fair"``) applies to every resource the
+    scenario does not pin explicitly — the cluster defaults' policies when
+    ``fabric_policy``/``storage_policy`` are absent, and each extra
+    resource's discipline when its ``policy`` key is absent.
+    """
     _check_keys(spec, _SCENARIO_KEYS, "scenario")
+    if default_policy is not None and default_policy not in SharedResource.POLICIES:
+        raise ValueError(f"unknown default policy {default_policy!r}; "
+                         f"expected one of {SharedResource.POLICIES}")
     cluster_spec = dict(spec.get("cluster") or {})
     _check_keys(cluster_spec, _CLUSTER_KEYS, "cluster")
+    if default_policy is not None:
+        cluster_spec.setdefault("fabric_policy", default_policy)
+        cluster_spec.setdefault("storage_policy", default_policy)
     cluster = Cluster(ClusterSpec(**cluster_spec))
     for resource_spec in spec.get("resources") or []:
+        resource_spec = dict(resource_spec)
+        _check_keys(resource_spec, _RESOURCE_KEYS, "resource")
+        if default_policy is not None:
+            resource_spec.setdefault("policy", default_policy)
         cluster.add_resource(SharedResource(**resource_spec))
 
     scheduler = ClusterScheduler(cluster, placement=str(spec.get("placement", "fifo")),
@@ -146,19 +177,23 @@ def build_scenario(spec: Dict) -> ClusterScheduler:
     return scheduler
 
 
-def run_scenario(scenario: Union[str, Dict], include_trace: bool = False) -> Dict[str, object]:
+def run_scenario(scenario: Union[str, Dict], include_trace: bool = False,
+                 default_policy: Optional[str] = None) -> Dict[str, object]:
     """Replay a scenario (dict or path to a JSON file) to plain-data results.
 
     The output is deterministic for a fixed scenario: makespan, per-job
     records, GPU utilization and per-resource occupancy — plus the full
-    scheduler trace when ``include_trace`` is set.
+    scheduler trace when ``include_trace`` is set.  ``default_policy``
+    forwards to :func:`build_scenario` (the CLI's ``--policy`` flag): it
+    sets the scheduling discipline of every resource the scenario does not
+    pin explicitly.
     """
     if isinstance(scenario, str):
         with open(scenario, "r", encoding="utf-8") as handle:
             spec = json.load(handle)
     else:
         spec = dict(scenario)
-    scheduler = build_scenario(spec)
+    scheduler = build_scenario(spec, default_policy=default_policy)
     result = scheduler.run()
     output: Dict[str, object] = {
         "cluster": scheduler.cluster.describe(),

@@ -8,10 +8,13 @@ that layer: a :class:`ClusterScheduler` places :class:`SimJob` s onto the
 iteration through the :class:`~repro.sim.engine.EventDrivenEngine`, so
 scenarios the closed-form model cannot express become one-liners:
 
-* **FIFO / round-robin placement** — jobs queue until enough GPUs are free;
-  ``placement="fifo"`` packs a job onto the first free GPUs in machine order
-  (locality), ``"round_robin"`` spreads its workers across machines (load
-  balancing, at the price of crossing the NICs).
+* **FIFO / round-robin / rack-packing placement** — jobs queue until enough
+  GPUs are free; ``placement="fifo"`` packs a job onto the first free GPUs
+  in machine order (locality), ``"round_robin"`` spreads its workers across
+  machines (load balancing, at the price of crossing the NICs), and
+  ``"tor_pack"`` packs a job into the fewest racks (ToRs) possible — the
+  placement that keeps rack-local jobs off the core fabric when the cluster
+  declares per-ToR link resources.
 * **Stragglers and heterogeneous GPUs** — :meth:`set_gpu_speed` (optionally
   at a future time) slows or speeds individual GPUs; the engine then gates
   every all-reduce on the slowest worker.
@@ -25,11 +28,15 @@ scenarios the closed-form model cannot express become one-liners:
   (``SimJob.checkpoint_every``) or from scratch without one, with
   checkpoint/restore costs charged through the cost model and engine.
 * **Shared-resource contention** — multi-machine jobs queue their gradient
-  buckets on the cluster's named fabric link and all jobs queue their
+  buckets on the cluster's named fabric link(s) and all jobs queue their
   checkpoint writes / restore reads on the named storage resource
-  (:mod:`repro.sim.resources`).  Concurrent jobs genuinely delay each other
-  on the resources they actually share; the former flat ``comm_scale``
-  fair-share multiplier is gone.
+  (:mod:`repro.sim.resources`; each resource's ``policy`` selects first-fit
+  FIFO serialization or processor sharing).  With per-ToR fabric resources
+  declared (``ClusterSpec.per_tor_fabric``), a job's buckets cross exactly
+  the links its placement dictates — its ToR uplinks plus, cross-rack, the
+  core — so placement decisions change measured interference.  Concurrent
+  jobs genuinely delay each other on the resources they actually share; the
+  former flat ``comm_scale`` fair-share multiplier is gone.
 * **Async checkpointing** — ``SimJob.async_checkpoint=True`` releases
   compute as soon as an iteration finishes while the snapshot drains on the
   storage resource in the background; the checkpoint only becomes a valid
@@ -71,8 +78,9 @@ class SimJob:
 
     ``storage``/``link`` name the shared resources the job's checkpoint and
     all-reduce traffic queue on; ``None`` selects the cluster defaults
-    (:data:`Cluster.CKPT_STORAGE`, and :data:`Cluster.FABRIC` for jobs that
-    span machines).  ``async_checkpoint=True`` overlaps checkpoint writes
+    (:data:`Cluster.CKPT_STORAGE`, and — for jobs that span machines — the
+    per-ToR links the placement crosses when the cluster declares them, or
+    the flat :data:`Cluster.FABRIC` otherwise).  ``async_checkpoint=True`` overlaps checkpoint writes
     with subsequent compute: the iteration finishes immediately and the
     snapshot drains on the storage resource in the background, becoming a
     valid rollback target only once the write completes.
@@ -99,10 +107,12 @@ class SimJob:
     async_checkpoint: bool = False
 
     def __post_init__(self) -> None:
+        """Validate the checkpoint cadence eagerly."""
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive (or None to disable)")
 
     def prefix_at(self, iteration: int) -> int:
+        """Frozen-prefix length in force during ``iteration``."""
         if callable(self.frozen_prefix):
             return int(self.frozen_prefix(iteration))
         return int(self.frozen_prefix)
@@ -163,10 +173,12 @@ class JobRecord:
 
     @property
     def queueing_delay(self) -> Optional[float]:
+        """Seconds between arrival and first placement (None if never placed)."""
         return None if self.start_time is None else self.start_time - self.arrival_time
 
     @property
     def completion_seconds(self) -> Optional[float]:
+        """End-to-end latency from arrival to finish (None while running)."""
         if self.finish_time is None:
             return None
         return self.finish_time - self.arrival_time
@@ -178,6 +190,7 @@ class JobRecord:
         return self.samples_processed / self.placed_seconds
 
     def as_dict(self) -> Dict[str, object]:
+        """Deterministic plain-data view of the record."""
         return {
             "name": self.name,
             "arrival_time": self.arrival_time,
@@ -219,6 +232,7 @@ class SchedulerResult:
     resources: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def utilization(self) -> Dict[str, float]:
+        """Per-GPU busy fraction of the makespan."""
         if self.makespan <= 0:
             return {name: 0.0 for name in self.gpu_busy_seconds}
         return {name: busy / self.makespan for name, busy in self.gpu_busy_seconds.items()}
@@ -244,17 +258,21 @@ class ClusterScheduler:
         Event-driven engine; one is built over ``cluster`` when omitted.
     placement:
         ``"fifo"`` packs workers onto the first free GPUs in machine order;
-        ``"round_robin"`` takes one free GPU per machine, cycling.  Job
-        admission is strictly FIFO in both cases.
+        ``"round_robin"`` takes one free GPU per machine, cycling;
+        ``"tor_pack"`` packs workers into the fewest racks (preferring the
+        tightest single rack that fits), keeping rack-local jobs off the
+        core fabric in per-ToR topology mode.  Job admission is strictly
+        FIFO in every case.
     seed:
         Seeds the (currently jitter-free) generator; kept so future stochastic
         knobs stay reproducible.
     """
 
-    PLACEMENTS = ("fifo", "round_robin")
+    PLACEMENTS = ("fifo", "round_robin", "tor_pack")
 
     def __init__(self, cluster: Cluster, engine: Optional[EventDrivenEngine] = None,
                  placement: str = "fifo", seed: int = 0):
+        """Wire the scheduler to a cluster and (optionally) a shared engine."""
         if placement not in self.PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}; expected one of {self.PLACEMENTS}")
         self.cluster = cluster
@@ -296,6 +314,12 @@ class ClusterScheduler:
         self._seq += 1
 
     def submit(self, job: SimJob) -> None:
+        """Queue a job for admission at its ``arrival_time``.
+
+        Worker counts and resource names are validated here, at submit time,
+        like job and GPU names elsewhere — events must not fire into the
+        void.
+        """
         if job.name in self._jobs:
             raise ValueError(f"duplicate job name {job.name!r}")
         if job.num_workers < 1:
@@ -379,6 +403,8 @@ class ClusterScheduler:
         if self.placement == "fifo":
             chosen = [gpu for gpu in self._all_gpus if gpu.name in self._free][:count]
             return chosen if len(chosen) == count else None
+        if self.placement == "tor_pack":
+            return self._pick_gpus_tor_pack(count)
         # round_robin: one free GPU per machine, cycling over machines.
         by_machine: Dict[str, List[GPUDevice]] = {}
         for gpu in self._all_gpus:
@@ -395,6 +421,30 @@ class ClusterScheduler:
                 if len(chosen) == count:
                     break
         return chosen if len(chosen) == count else None
+
+    def _pick_gpus_tor_pack(self, count: int) -> Optional[List[GPUDevice]]:
+        """Rack-aware packing: fewest ToRs, preferring the tightest fit.
+
+        If one rack can host the whole job, the rack with the *fewest* free
+        GPUs that still fits is chosen (best fit, minimizing fragmentation);
+        otherwise racks are filled in descending free-GPU order so the job
+        spans as few ToRs as possible.  Ties break on the lower ToR index;
+        within a rack, GPUs come in machine order — all deterministic.
+        """
+        free_by_tor: Dict[int, List[GPUDevice]] = {}
+        for gpu in self._all_gpus:
+            if gpu.name in self._free:
+                free_by_tor.setdefault(self.cluster.tor_index(gpu.machine), []).append(gpu)
+        fitting = sorted((len(gpus), tor) for tor, gpus in free_by_tor.items()
+                         if len(gpus) >= count)
+        if fitting:
+            return free_by_tor[fitting[0][1]][:count]
+        chosen: List[GPUDevice] = []
+        for _free_count, tor in sorted(((-len(gpus), tor) for tor, gpus in free_by_tor.items())):
+            chosen.extend(free_by_tor[tor][: count - len(chosen)])
+            if len(chosen) == count:
+                return chosen
+        return None
 
     def _try_place(self, now: float) -> None:
         """Strict-FIFO admission: place queued jobs head-first while GPUs last."""
@@ -471,13 +521,23 @@ class ClusterScheduler:
             return job.storage
         return Cluster.CKPT_STORAGE if Cluster.CKPT_STORAGE in self.engine.resources else None
 
-    def _link_for(self, job: SimJob, workers: Sequence[GPUDevice]) -> Optional[str]:
-        """The shared link the job's all-reduce crosses (None if intra-machine)."""
+    def _links_for(self, job: SimJob, workers: Sequence[GPUDevice]) -> Optional[List[str]]:
+        """The shared link(s) the job's all-reduce crosses (None if intra-machine).
+
+        An explicit ``SimJob.link`` always wins.  Otherwise, on clusters
+        declaring per-ToR fabric resources, the links are derived from the
+        placement (:meth:`Cluster.links_crossed`: the workers' ToR uplinks
+        plus, cross-rack, the core); on flat clusters every multi-machine
+        job shares the default :data:`Cluster.FABRIC`.
+        """
         if len({gpu.machine for gpu in workers}) <= 1:
             return None  # intra-machine rings never touch the shared fabric
         if job.link is not None:
-            return job.link
-        return Cluster.FABRIC if Cluster.FABRIC in self.engine.resources else None
+            return [job.link]
+        crossed = self.cluster.links_crossed(list(workers))
+        if crossed:
+            return crossed
+        return [Cluster.FABRIC] if Cluster.FABRIC in self.engine.resources else None
 
     def _storage_seconds(self, job: SimJob, num_bytes: int, start_time: float,
                          workers: Sequence[GPUDevice], kind: str) -> float:
@@ -502,7 +562,7 @@ class ClusterScheduler:
             job.cost_model, workers=workers, frozen_prefix=prefix,
             cached_fp=cached_fp, policy=job.policy,
             include_reference_overhead=include_reference, start_time=now,
-            link_resource=self._link_for(job, workers), job_name=job.name)
+            link_resource=self._links_for(job, workers), job_name=job.name)
         duration = result.total
         # Periodic checkpoint: the iteration that completes a checkpoint
         # interval also writes the freezing-aware incremental snapshot (the

@@ -65,6 +65,7 @@ class IterationTimeline:
         return samples_per_iteration / self.total if self.total > 0 else 0.0
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-data view of the timeline (used by Figure 10 rows)."""
         return {
             "policy": self.policy,
             "forward": self.forward,
@@ -81,6 +82,7 @@ class TimelineSimulator:
 
     def __init__(self, layer_modules: Sequence[LayerModule], cost_model: CostModel,
                  allreduce: AllReduceModel, workers: List[GPUDevice]):
+        """Bind the simulator to a module list, cost model and worker set."""
         self.layer_modules = list(layer_modules)
         self.cost_model = cost_model
         self.allreduce = allreduce

@@ -57,6 +57,7 @@ class TrainerJob(SimJob):
                  policy: str = SchedulePolicy.VANILLA, arrival_time: float = 0.0,
                  checkpoint_every: Optional[int] = None, storage: Optional[str] = None,
                  link: Optional[str] = None, async_checkpoint: bool = False):
+        """Wrap ``trainer`` as a schedulable job priced by its own cost model."""
         SimJob.__init__(self, name=name, cost_model=trainer.cost_model,
                         num_workers=num_workers, iterations=int(iterations), policy=policy,
                         frozen_prefix=0, cached_fp=False, include_reference_overhead=False,
@@ -113,12 +114,18 @@ class TrainerJob(SimJob):
         trainer.on_iteration_end(batch, loss_value)
 
     def iteration_profile(self, iteration: int) -> Tuple[int, bool, bool]:
+        """The pricing profile captured by :meth:`begin_iteration`."""
         return self._profile
 
     # ------------------------------------------------------------------ #
     # Real checkpoint volume
     # ------------------------------------------------------------------ #
     def checkpoint_write_bytes(self, iteration: int, frozen_prefix: int) -> int:
+        """Take a *real* snapshot; returns its content-addressed increment.
+
+        Falls back to the cost-model estimate when no checkpoint manager is
+        configured on the trainer.
+        """
         trainer = self.trainer
         if trainer.checkpoint_manager is None:
             return super().checkpoint_write_bytes(iteration, frozen_prefix)
@@ -137,6 +144,7 @@ class TrainerJob(SimJob):
         return candidates[-1] if candidates else None
 
     def restore_read_bytes(self, iteration: int, frozen_prefix: int) -> int:
+        """Bytes a restore to ``iteration`` reads (the snapshot's full payload)."""
         snapshot = self._snapshot_for(iteration)
         if snapshot is None:
             return super().restore_read_bytes(iteration, frozen_prefix)
@@ -170,6 +178,7 @@ class TrainerJob(SimJob):
         self._epoch = epoch
 
     def rollback(self, to_iteration: int) -> None:
+        """Restore the live trainer to ``to_iteration`` and re-seek the loader."""
         trainer = self.trainer
         if trainer.checkpoint_manager is None or to_iteration <= 0:
             # No durable snapshot to return to: the scheduler restarts the

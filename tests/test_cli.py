@@ -140,6 +140,45 @@ class TestSimCommands:
         assert main(["sim", "run", str(tmp_path / "missing.json")]) == 2
         assert "error" in capsys.readouterr().err
 
+        bad_policy = dict(self.SCENARIO)
+        bad_policy["resources"] = [{"name": "scratch", "bandwidth_gbps": 1.0,
+                                    "policy": "lottery"}]
+        assert main(["sim", "run", self._write(tmp_path, bad_policy)]) == 2
+        assert "policy" in capsys.readouterr().err
+
+    def test_sim_run_policy_override(self, tmp_path, capsys):
+        scenario = self._write(tmp_path, self.SCENARIO)
+        assert main(["sim", "run", scenario, "--policy", "fair"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        resources = report["cluster"]["resources"]
+        assert resources["ckpt-store"]["policy"] == "fair"
+        assert resources["fabric"]["policy"] == "fair"
+        # An explicitly pinned policy wins over the CLI override.
+        pinned = dict(self.SCENARIO)
+        pinned["cluster"] = dict(pinned["cluster"], storage_policy="fifo")
+        assert main(["sim", "run", self._write(tmp_path, pinned),
+                     "--policy", "fair"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cluster"]["resources"]["ckpt-store"]["policy"] == "fifo"
+        assert report["cluster"]["resources"]["fabric"]["policy"] == "fair"
+
+    def test_sim_run_per_tor_scenario(self, tmp_path, capsys):
+        scenario = {
+            "cluster": {"num_machines": 4, "gpus_per_machine": 2,
+                        "num_tor_switches": 2, "per_tor_fabric": True},
+            "placement": "tor_pack",
+            "jobs": [
+                {"name": "a", "modules": [40000, 80000], "num_workers": 4, "iterations": 2},
+                {"name": "b", "modules": [40000, 80000], "num_workers": 4, "iterations": 2},
+            ],
+        }
+        assert main(["sim", "run", self._write(tmp_path, scenario)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Rack-packed jobs queue on their own ToR uplinks, never the core.
+        assert report["resources"]["tor0-uplink"]["total_bytes"] > 0
+        assert report["resources"]["tor1-uplink"]["total_bytes"] > 0
+        assert report["resources"]["core"]["total_bytes"] == 0
+
 
 class TestCommands:
     def test_list_runs(self, capsys):

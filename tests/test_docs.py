@@ -1,0 +1,45 @@
+"""Tier-1 documentation gate: links resolve and the README quickstart runs.
+
+Mirrors CI's docs job (``tools/check_docs.py``): documentation that points
+at files that moved, or a quickstart snippet the API drifted away from,
+fails the suite instead of silently rotting.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_markdown_links_resolve():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    errors = check_docs.check_links(REPO_ROOT)
+    assert not errors, "broken markdown links:\n" + "\n".join(errors)
+
+
+def test_readme_quickstart_snippets_execute():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_docs
+    finally:
+        sys.path.pop(0)
+    failures = check_docs.run_readme_snippets(REPO_ROOT)
+    assert not failures, "failing README snippets:\n" + \
+        "\n".join(message for _line, message in failures)
+
+
+def test_check_docs_cli_passes():
+    """The exact command CI's docs job runs."""
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py"),
+         "--root", str(REPO_ROOT)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout

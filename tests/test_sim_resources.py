@@ -1,13 +1,19 @@
 """Tests for the shared-resource layer: link/storage event queues.
 
-Three families of guarantees:
+Four families of guarantees:
 
-* **Unit behaviour** — FIFO serialization, cancellation, name validation, the
-  ``comm_scale`` deprecation shim, async checkpoint overlap.
+* **Unit behaviour** — FIFO serialization, cancellation with re-flow of
+  queued successors, fair-share (processor-sharing) semantics, name/policy
+  validation, the ``comm_scale`` deprecation shim, async checkpoint overlap.
 * **Hypothesis properties** — byte conservation (resource traffic equals the
   sum of per-job traffic), makespan monotone non-increasing in bandwidth,
-  and the no-contention single-job path agreeing with the closed-form
+  fair-share makespan never exceeding FIFO on identical workloads, and the
+  no-contention single-job path agreeing with the closed-form
   :class:`CostModel` within 5%.
+* **Topology** — per-ToR fabric resources: rack-local rings cross only their
+  own ToR uplink, cross-rack rings additionally cross the core, and the
+  ``tor_pack`` placement keeps jobs rack-local — so placement measurably
+  changes interference under both disciplines.
 * **Integration** — scheduler-level conservation between job records and
   resource summaries, and a :class:`TrainerJob` driven end to end.
 """
@@ -29,11 +35,13 @@ from repro.sim import (
     ClusterSpec,
     CostModel,
     EventDrivenEngine,
+    FairShareTimeline,
     ResourcePool,
     ResourceTimeline,
     SharedResource,
     SimJob,
     TrainerJob,
+    build_timeline,
     paper_testbed_cluster,
 )
 
@@ -113,6 +121,325 @@ class TestResourceTimeline:
             SharedResource("s", bandwidth_gbps=1.0, kind="tape")
         with pytest.raises(ValueError):
             SharedResource("s", bandwidth_gbps=1.0, latency_seconds=-1.0)
+        with pytest.raises(ValueError, match="policy"):
+            SharedResource("s", bandwidth_gbps=1.0, policy="lottery")
+
+    def test_policy_selects_timeline_class(self):
+        assert isinstance(build_timeline(SharedResource("a", 1.0)), ResourceTimeline)
+        assert isinstance(build_timeline(SharedResource("b", 1.0, policy="fair")),
+                          FairShareTimeline)
+        pool = ResourcePool([SharedResource("fifo-link", 1.0),
+                             SharedResource("fair-link", 1.0, policy="fair")])
+        assert isinstance(pool.require("fifo-link"), ResourceTimeline)
+        assert isinstance(pool.require("fair-link"), FairShareTimeline)
+
+    def test_cluster_spec_policies_reach_default_resources(self):
+        cluster = Cluster(ClusterSpec(fabric_policy="fair", storage_policy="fair"))
+        assert cluster.resources[Cluster.FABRIC].policy == "fair"
+        assert cluster.resources[Cluster.CKPT_STORAGE].policy == "fair"
+        engine = EventDrivenEngine(cluster)
+        assert isinstance(engine.resource_timeline(Cluster.FABRIC), FairShareTimeline)
+
+
+# --------------------------------------------------------------------------- #
+# Cancellation re-flow: queued successors move up into freed windows
+# --------------------------------------------------------------------------- #
+class TestCancelReflow:
+    def test_queued_successor_moves_into_freed_window(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(0.0, 1.0, num_bytes=5, job="a")   # [0, 1)
+        timeline.reserve(0.0, 1.0, num_bytes=7, job="c")   # queued to [1, 2)
+        timeline.reserve(0.0, 1.0, num_bytes=9, job="b")   # queued to [2, 3)
+        assert timeline.cancel("c", after_time=0.5) == 1
+        # b re-flows into c's freed slot instead of keeping [2, 3).
+        windows = {r.job: (r.start, r.end) for r in timeline.records}
+        assert windows == {"a": (0.0, 1.0), "b": (1.0, 2.0)}
+        assert timeline.total_bytes() == 14  # byte conservation after re-flow
+        assert timeline.busy_until == 2.0
+
+    def test_reflow_preserves_request_order_across_jobs(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(0.0, 2.0, job="victim")           # [0, 2)
+        timeline.reserve(0.0, 1.0, num_bytes=1, job="x")   # [2, 3)
+        timeline.reserve(0.0, 1.0, num_bytes=2, job="y")   # [3, 4)
+        assert timeline.cancel("victim", after_time=0.0) == 1
+        windows = [(r.job, r.start, r.end) for r in timeline.records]
+        assert windows == [("x", 0.0, 1.0), ("y", 1.0, 2.0)]
+
+    def test_reflow_respects_original_earliest_start(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(0.0, 3.0, job="victim")           # [0, 3)
+        timeline.reserve(5.0, 1.0, job="late")             # idle at [5, 6)
+        assert timeline.cancel("victim", after_time=0.0) == 1
+        # The survivor asked for t >= 5; the freed [0, 3) window is earlier
+        # than it ever wanted, so it must not move.
+        (record,) = timeline.records
+        assert (record.start, record.end) == (5.0, 6.0)
+
+    def test_reflow_clamps_to_cancellation_time(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(2.0, 2.0, job="victim")           # [2, 4)
+        timeline.reserve(0.0, 3.0, job="b")                # 3s does not fit [0, 2) -> [4, 7)
+        assert timeline.cancel("victim", after_time=1.0) == 1
+        # b was demonstrably not on the wire before t=1, so it restarts at
+        # the cancellation instant — not at its original earliest_start=0.
+        (record,) = timeline.records
+        assert (record.start, record.end) == (1.0, 4.0)
+
+    def test_windows_already_started_do_not_move(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(0.0, 4.0, num_bytes=1, job="a")   # [0, 4): in flight
+        timeline.reserve(4.0, 1.0, num_bytes=2, job="victim")  # [4, 5)
+        timeline.reserve(4.0, 1.0, num_bytes=3, job="b")   # [5, 6)
+        assert timeline.cancel("victim", after_time=2.0) == 1
+        windows = {r.job: (r.start, r.end) for r in timeline.records}
+        # a already started (stays); b re-flows into the freed [4, 5) slot.
+        assert windows == {"a": (0.0, 4.0), "b": (4.0, 5.0)}
+
+    def test_reflow_never_moves_a_window_later(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        for index in range(6):
+            timeline.reserve(0.0, 1.0, job="victim" if index % 2 == 0 else "other")
+        before = {r.seq: r.start for r in timeline.records if r.job == "other"}
+        timeline.cancel("victim", after_time=0.0)
+        after = {r.seq: r.start for r in timeline.records}
+        assert all(after[seq] <= start for seq, start in before.items())
+
+    def test_reflow_of_gap_filled_window_never_moves_later(self):
+        """Mixed durations: a gap-filled window must not lose its early slot.
+
+        The survivor ``k`` was *requested after* the big transfer ``j`` but
+        committed *earlier* (it fit the idle gap in front of j).  Replaying
+        re-flow in request order would hand j the gap and push k later;
+        committed-start order keeps every survivor at or before its old
+        slot.
+        """
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        timeline.reserve(0.0, 1.0, job="a")        # [0, 1)
+        timeline.reserve(2.0, 1.0, job="victim")   # [2, 3)
+        timeline.reserve(0.0, 5.0, job="j")        # 5s does not fit [1, 2) -> [3, 8)
+        timeline.reserve(1.0, 1.0, job="k")        # gap-fills [1, 2)
+        before = {r.job: r.start for r in timeline.records}
+        assert timeline.cancel("victim", after_time=0.0) == 1
+        after = {r.job: (r.start, r.end) for r in timeline.records}
+        assert after["k"] == (1.0, 2.0)            # kept its gap-filled slot
+        assert after["j"] == (2.0, 7.0)            # moved up into victim's slot
+        assert all(after[job][0] <= start for job, start in before.items()
+                   if job != "victim")
+
+
+# --------------------------------------------------------------------------- #
+# Fair-share (processor-sharing) timelines
+# --------------------------------------------------------------------------- #
+class TestFairShareTimeline:
+    def _timeline(self, gbps=8.0):
+        return FairShareTimeline(
+            SharedResource("f", bandwidth_gbps=gbps, kind="link", policy="fair"))
+
+    def test_equal_transfers_split_capacity_evenly(self):
+        timeline = self._timeline()
+        assert timeline.reserve(0.0, 2.0, num_bytes=10, job="a") == (0.0, 2.0)
+        # The second admission halves both rates: both complete at t=4.
+        assert timeline.reserve(0.0, 2.0, num_bytes=10, job="b") == (0.0, 4.0)
+        assert [(r.job, r.start, r.end) for r in timeline.records] == \
+            [("a", 0.0, 4.0), ("b", 0.0, 4.0)]
+
+    def test_short_transfer_overtakes_long_one(self):
+        """The processor-sharing signature FIFO cannot produce.
+
+        Under FIFO a short transfer arriving behind a long one waits for the
+        full window; under fair share it runs at half rate and finishes long
+        before the long transfer does.
+        """
+        timeline = self._timeline()
+        assert timeline.reserve(0.0, 10.0, job="long") == (0.0, 10.0)
+        start, end = timeline.reserve(1.0, 2.0, job="short")
+        assert (start, end) == (1.0, 5.0)          # 2s demand at half rate
+        windows = {r.job: r.end for r in timeline.records}
+        assert windows["short"] < windows["long"]  # overtakes
+        assert windows["long"] == pytest.approx(12.0)  # revised: shared 4s
+
+    def test_work_conservation_and_byte_accounting(self):
+        timeline = self._timeline()
+        timeline.reserve_bytes(0.0, 10**9, job="a")
+        timeline.reserve_bytes(0.0, 2 * 10**9, job="b", kind="checkpoint")
+        timeline.reserve_bytes(100.0, 10**9, job="a")
+        assert timeline.total_bytes() == 4 * 10**9
+        assert timeline.bytes_by_job() == {"a": 2 * 10**9, "b": 2 * 10**9}
+        assert timeline.bytes_by_kind() == {"transfer": 2 * 10**9, "checkpoint": 2 * 10**9}
+        # busy_seconds counts capacity-seconds of demand, not overlapping
+        # wall-clock spans — equal to what FIFO would report.
+        fifo = ResourceTimeline(SharedResource("f", bandwidth_gbps=8.0))
+        fifo.reserve_bytes(0.0, 10**9)
+        fifo.reserve_bytes(0.0, 2 * 10**9)
+        fifo.reserve_bytes(100.0, 10**9)
+        assert timeline.busy_seconds() == pytest.approx(fifo.busy_seconds())
+
+    def test_cancel_reflows_survivors_earlier(self):
+        timeline = self._timeline()
+        timeline.reserve(0.0, 4.0, num_bytes=3, job="keep")
+        timeline.reserve(0.0, 4.0, num_bytes=5, job="victim")
+        assert timeline.records[0].end == pytest.approx(8.0)  # shared
+        assert timeline.cancel("victim", after_time=0.0) == 1
+        (record,) = timeline.records
+        assert (record.job, record.end) == ("keep", 4.0)      # full rate again
+        assert timeline.total_bytes() == 3
+
+    def test_cancel_keeps_transfers_already_in_service(self):
+        timeline = self._timeline()
+        timeline.reserve(0.0, 2.0, job="a")
+        assert timeline.cancel("a", after_time=1.0) == 0  # arrived before t=1
+        assert len(timeline.records) == 1
+
+    def test_idle_gap_then_second_busy_period(self):
+        timeline = self._timeline()
+        assert timeline.reserve(0.0, 1.0, job="a") == (0.0, 1.0)
+        # The resource is idle in [1, 10); a new arrival starts a fresh busy
+        # period at its own earliest_start, at full rate.
+        assert timeline.reserve(10.0, 2.0, job="b") == (10.0, 12.0)
+        assert timeline.busy_until == 12.0
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                          st.integers(min_value=1, max_value=10**9)),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_fair_share_makespan_never_exceeds_fifo(transfers):
+    """Processor sharing is work-conserving: it never finishes last work later.
+
+    FIFO first-fit can idle the resource while work is queued (a transfer
+    too large for the gap before a committed future window waits behind it);
+    fair share never idles while demand is pending, so on any identical
+    request stream its makespan is at most FIFO's.  Total bytes match
+    exactly (conservation under both disciplines).
+    """
+    fifo = ResourceTimeline(SharedResource("s", 10.0, kind="storage", latency_seconds=1e-4))
+    fair = FairShareTimeline(SharedResource("s", 10.0, kind="storage",
+                                            latency_seconds=1e-4, policy="fair"))
+    for earliest, num_bytes in transfers:
+        fifo.reserve_bytes(earliest, num_bytes)
+        fair.reserve_bytes(earliest, num_bytes)
+    assert fair.busy_until <= fifo.busy_until * (1 + 1e-9) + 1e-9
+    assert fair.total_bytes() == fifo.total_bytes()
+    assert fair.busy_seconds() == pytest.approx(fifo.busy_seconds())
+
+
+# --------------------------------------------------------------------------- #
+# Per-ToR fabric topology: placement decides which links a job crosses
+# --------------------------------------------------------------------------- #
+def per_tor_cluster(**overrides):
+    """A 4-machine, 2-rack cluster with per-ToR fabric links.
+
+    NIC and ToR uplink speeds are equal so rack-local and cross-rack rings
+    have identical *uncontended* all-reduce cost — any measured difference
+    between placements is pure shared-resource interference.
+    """
+    spec = dict(num_machines=4, gpus_per_machine=2, num_tor_switches=2,
+                nic_gbps=1.0, tor_uplink_gbps=1.0, per_tor_fabric=True)
+    spec.update(overrides)
+    return Cluster(ClusterSpec(**spec))
+
+
+class TestPerTorTopology:
+    def test_links_crossed(self):
+        cluster = per_tor_cluster()
+        rack_local = cluster.machines[0].gpus() + cluster.machines[2].gpus()
+        cross_rack = cluster.machines[0].gpus() + cluster.machines[1].gpus()
+        assert cluster.links_crossed(cluster.machines[0].gpus()) == []  # one machine
+        assert cluster.links_crossed(rack_local) == ["tor0-uplink"]
+        assert cluster.links_crossed(cross_rack) == ["tor0-uplink", "tor1-uplink", "core"]
+        # Flat clusters have no per-ToR resources to cross.
+        assert paper_testbed_cluster().links_crossed(cross_rack) == []
+
+    def test_machines_alternate_tors(self):
+        cluster = per_tor_cluster()
+        assert [cluster.tor_index(m.name) for m in cluster.machines] == [0, 1, 0, 1]
+        with pytest.raises(KeyError, match="unknown machine"):
+            cluster.tor_index("node99")
+
+    def test_engine_reserves_on_every_crossed_link(self):
+        cluster = per_tor_cluster()
+        engine = EventDrivenEngine(cluster)
+        workers = cluster.machines[0].gpus() + cluster.machines[1].gpus()
+        engine.simulate_iteration(make_cost_model(), workers=workers,
+                                  link_resource=cluster.links_crossed(workers),
+                                  job_name="x")
+        for name in ("tor0-uplink", "tor1-uplink", "core"):
+            assert engine.resource_timeline(name).total_bytes() > 0
+        assert engine.resource_timeline(Cluster.FABRIC).total_bytes() == 0
+
+    def test_tor_pack_placement_keeps_jobs_rack_local(self):
+        cluster = per_tor_cluster()
+        scheduler = ClusterScheduler(cluster, placement="tor_pack")
+        cost_model = make_cost_model()
+        scheduler.submit(SimJob("a", cost_model, num_workers=4, iterations=1))
+        scheduler.submit(SimJob("b", cost_model, num_workers=4, iterations=1))
+        result = scheduler.run()
+        for name in ("a", "b"):
+            machines = {worker.split(":")[0] for worker in result.jobs[name].worker_names}
+            tors = {cluster.tor_index(machine) for machine in machines}
+            assert len(tors) == 1, f"job {name} spans racks: {machines}"
+        # Rack-local jobs never touch the shared core fabric.
+        assert result.resources[Cluster.CORE]["total_bytes"] == 0
+
+    def test_tor_pack_spills_to_fewest_racks_when_needed(self):
+        cluster = per_tor_cluster(num_machines=6)  # 3 machines (6 GPUs) per rack
+        scheduler = ClusterScheduler(cluster, placement="tor_pack")
+        scheduler.submit(SimJob("big", make_cost_model(), num_workers=8, iterations=1))
+        result = scheduler.run()
+        machines = {worker.split(":")[0] for worker in result.jobs["big"].worker_names}
+        tors = {cluster.tor_index(machine) for machine in machines}
+        assert tors == {0, 1}  # cannot fit one rack; spans exactly two
+
+    @pytest.mark.parametrize("policy", ["fifo", "fair"])
+    def test_rack_local_interference_below_cross_rack(self, policy):
+        """The acceptance scenario: placement locality changes interference.
+
+        Two identical comm-heavy jobs run rack-local on separate ToRs
+        (``tor_pack``) vs interleaved across both racks (``round_robin``).
+        Rack-local jobs queue on disjoint ToR uplinks and must finish
+        measurably earlier than the cross-rack placement, where both jobs
+        share both uplinks and the core — under either discipline.  Byte
+        conservation: the discipline never changes the traffic, only its
+        timing.
+        """
+        cost_model = make_cost_model((400_000, 800_000, 600_000), batch_size=4)
+
+        def run(placement, fabric_policy=policy):
+            cluster = per_tor_cluster(fabric_policy=fabric_policy)
+            scheduler = ClusterScheduler(cluster, placement=placement)
+            scheduler.submit(SimJob("a", cost_model, num_workers=4, iterations=4))
+            scheduler.submit(SimJob("b", cost_model, num_workers=4, iterations=4))
+            return scheduler.run()
+
+        local, cross = run("tor_pack"), run("round_robin")
+        assert local.makespan < cross.makespan * 0.9, \
+            f"rack-local not measurably faster under {policy}"
+        # Rack-local: no core traffic; cross-rack: all buckets cross the core.
+        assert local.resources[Cluster.CORE]["total_bytes"] == 0
+        assert cross.resources[Cluster.CORE]["total_bytes"] > 0
+        # Per-link traffic is identical under the *other* discipline too —
+        # the policy changes timing, never bytes.
+        other_policy = "fifo" if policy == "fair" else "fair"
+        other = run("tor_pack", fabric_policy=other_policy)
+        assert {name: r["total_bytes"] for name, r in local.resources.items()} == \
+            {name: r["total_bytes"] for name, r in other.resources.items()}
+
+    def test_fair_and_fifo_move_identical_bytes(self):
+        cost_model = make_cost_model((400_000, 800_000, 600_000), batch_size=4)
+        totals = {}
+        for policy in ("fifo", "fair"):
+            cluster = per_tor_cluster(fabric_policy=policy, storage_policy=policy)
+            scheduler = ClusterScheduler(cluster, placement="round_robin")
+            scheduler.submit(SimJob("a", cost_model, num_workers=4, iterations=3,
+                                    checkpoint_every=1))
+            scheduler.submit(SimJob("b", cost_model, num_workers=4, iterations=3,
+                                    checkpoint_every=1))
+            result = scheduler.run()
+            totals[policy] = {name: r["total_bytes"]
+                              for name, r in result.resources.items()}
+        assert totals["fifo"] == totals["fair"]
+        assert sum(totals["fifo"].values()) > 0
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Documentation gate: markdown link check + README quickstart execution.
+
+CI's docs job (and ``tests/test_docs.py`` in the tier-1 suite) runs this
+script from the repository root.  Two checks, stdlib only:
+
+* **Link check** — every relative markdown link in ``README.md`` and
+  ``docs/*.md`` must point at an existing file or directory (external
+  ``http(s)://`` links and pure ``#fragment`` anchors are skipped; a
+  ``path#fragment`` link is checked for the path part).
+* **Quickstart execution** — every fenced ``python`` code block in
+  ``README.md`` is executed (each in a fresh namespace).  The blocks carry
+  their own ``assert`` s, so a stale quickstart fails the build instead of
+  silently rotting.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+#: Inline markdown links: ``[text](target)``; images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced python blocks: ``\`\`\`python ... \`\`\``.
+_PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def iter_markdown_files(root: pathlib.Path) -> List[pathlib.Path]:
+    """``README.md`` plus every markdown page under ``docs/``."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(root: pathlib.Path) -> List[str]:
+    """Return one error string per broken relative link."""
+    errors: List[str] = []
+    for path in iter_markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                errors.append(f"{path.relative_to(root)}:{line}: broken link -> {target}")
+    return errors
+
+
+def run_readme_snippets(root: pathlib.Path) -> List[Tuple[int, str]]:
+    """Execute every fenced python block in README.md; return failures."""
+    failures: List[Tuple[int, str]] = []
+    readme = root / "README.md"
+    text = readme.read_text(encoding="utf-8")
+    for index, match in enumerate(_PYTHON_BLOCK_RE.finditer(text)):
+        block = match.group(1)
+        line = text[: match.start()].count("\n") + 2  # first line inside the fence
+        try:
+            exec(compile(block, f"README.md[block {index} @ line {line}]", "exec"), {})
+        except Exception as error:  # noqa: BLE001 - report, do not crash the gate
+            failures.append((line, f"block {index} (line {line}): {type(error).__name__}: {error}"))
+    return failures
+
+
+def main(argv=None) -> int:
+    """Run both checks; non-zero exit on any failure."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    link_errors = check_links(root)
+    for error in link_errors:
+        print(f"LINK FAIL  {error}", file=sys.stderr)
+
+    snippet_failures = run_readme_snippets(root)
+    for _line, message in snippet_failures:
+        print(f"SNIPPET FAIL  {message}", file=sys.stderr)
+
+    pages = len(iter_markdown_files(root))
+    if link_errors or snippet_failures:
+        print(f"\nFAIL: {len(link_errors)} broken link(s), "
+              f"{len(snippet_failures)} failing snippet(s) across {pages} page(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {pages} markdown page(s) link-clean, README quickstart snippets executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
