@@ -11,7 +11,12 @@ baseline (``benchmarks/bench_baseline.json``):
 
 The tolerance is deliberately coarse (CI machines vary widely); the gate is
 a smoke alarm for order-of-magnitude blowups — e.g. an accidental O(n^2)
-hot loop — not a precision performance tracker.
+hot loop — not a precision performance tracker.  Sub-millisecond entries
+are pure timer/interpreter noise at this granularity (a structural check
+recorded at ~5e-7 s can "regress" 100x by cache weather alone), so baseline
+means are floored at ``--min-seconds`` (default 0.05 s) before the ratio is
+taken: an entry only fails the gate once its *absolute* mean exceeds
+``max(baseline, floor) * tolerance``.
 
 Usage::
 
@@ -48,6 +53,9 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--tolerance", type=float, default=10.0,
                         help="allowed mean-time ratio vs baseline (default 10x)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="noise floor: baseline means below this are floored to it "
+                             "before the ratio check (default 0.05 s)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current artifact and exit")
     args = parser.parse_args(argv)
@@ -78,9 +86,14 @@ def main(argv=None) -> int:
     for name in sorted(baseline):
         if name in missing:
             continue
-        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        # Floor the reference at the noise threshold: comparing two
+        # sub-millisecond timings is comparing jitter, not performance.
+        reference = max(baseline[name], args.min_seconds)
+        ratio = current[name] / reference if reference > 0 else float("inf")
+        floored = " (floored)" if baseline[name] < args.min_seconds else ""
         flag = " <-- REGRESSION" if ratio > args.tolerance else ""
-        print(f"{name:<72} {baseline[name]:>10.4g} {current[name]:>10.4g} {ratio:>6.2f}x{flag}")
+        print(f"{name:<72} {baseline[name]:>10.4g} {current[name]:>10.4g} "
+              f"{ratio:>6.2f}x{floored}{flag}")
         if ratio > args.tolerance:
             regressions.append((name, ratio))
 

@@ -23,9 +23,17 @@ Four subcommands mirror the typical workflows:
     Replay a cluster scenario (jobs, shared link/storage resources —
     optionally per-ToR fabric links — failures, resizes) through the
     event-driven simulator and emit the deterministic timeline/makespan
-    report as JSON.  ``--policy`` overrides the scheduling discipline
-    (first-fit FIFO vs processor-sharing fair-share) of every resource the
-    scenario does not pin explicitly.
+    report as JSON (including the engine's fast-forward perf counters).
+    ``--policy`` overrides the scheduling discipline (first-fit FIFO vs
+    processor-sharing fair-share) of every resource the scenario does not
+    pin explicitly.
+
+``python -m repro.cli sim sweep sweep.json [--workers 4] [--out result.json]``
+    Expand a sweep spec (base scenario + parameter grid, e.g. a
+    ``cluster.core_gbps`` oversubscription study) into independent cells and
+    run them across a multiprocessing pool.  The merged result table is
+    identical no matter how many workers ran it — parallelism only buys
+    wall-clock time.
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ from .experiments import (
     format_rows,
     run_trainer,
 )
-from .sim import run_scenario
+from .sim import run_scenario, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -110,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the scheduling discipline of every shared resource "
                               "the scenario does not pin explicitly (fifo: first-fit "
                               "serialization, fair: processor sharing)")
+    sim_sweep = sim_sub.add_parser("sweep", help="run a scenario parameter grid across workers")
+    sim_sweep.add_argument("sweep", help="path to the sweep JSON file (scenario + grid)")
+    sim_sweep.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: the spec's 'workers', else 1); "
+                                "the merged output is identical at any worker count")
+    sim_sweep.add_argument("--out", default=None, help="write the merged table here instead of stdout")
     return parser
 
 
@@ -212,6 +226,8 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
 
 
 def _cmd_sim(args: argparse.Namespace) -> int:
+    if args.sim_command == "sweep":
+        return _cmd_sim_sweep(args)
     try:
         report = run_scenario(args.scenario, include_trace=args.trace,
                               default_policy=args.policy)
@@ -222,8 +238,30 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+        perf = report.get("perf", {})
         print(f"wrote {args.out}: makespan {report['makespan']:.6f}s, "
-              f"{report['num_jobs']} jobs, {report['num_trace_events']} events")
+              f"{report['num_jobs']} jobs, {report['num_trace_events']} events, "
+              f"{perf.get('iterations_fast_forwarded', 0)} iterations fast-forwarded "
+              f"({perf.get('cache_hit_rate', 0.0):.0%} cache hit rate)")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_sim_sweep(args: argparse.Namespace) -> int:
+    try:
+        merged = run_sweep(args.sweep, workers=args.workers)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError, IndexError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = json.dumps(merged, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}: {merged['num_cells']} cells")
+        for row in merged["cells"]:
+            params = ", ".join(f"{key}={value}" for key, value in row["params"].items())
+            print(f"  [{row['index']}] {params}: makespan {row['makespan']:.6f}s")
     else:
         print(payload)
     return 0

@@ -21,6 +21,15 @@ sharing (:class:`FairShareTimeline`), selected by ``policy`` per resource.
 :func:`run_scenario` replays a plain-JSON scenario to a deterministic
 timeline/makespan report (the ``repro sim run`` CLI).
 
+Two performance layers keep the event backend fast (``docs/performance.md``):
+the engine memoizes the fully-resolved timing of every steady-state
+iteration and **fast-forwards** identical ones in O(1) — bit-identical to
+the event-by-event path, invalidated by any state transition — and
+:func:`run_sweep` (``repro sim sweep``) fans a scenario parameter grid (e.g.
+``core_gbps`` oversubscription studies) across ``multiprocessing`` workers
+with deterministic per-cell seeds and a worker-count-independent merged
+result table.
+
 The closed-form path is validated against the engine to within 5% on the
 single-job configurations (see ``EventDrivenEngine.closed_form_deviation``).
 """
@@ -40,6 +49,7 @@ from .resources import (
 )
 from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
+from .sweep import build_cells, expand_grid, run_sweep
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
 from .trainer_job import TrainerJob
 
@@ -75,4 +85,7 @@ __all__ = [
     "build_timeline",
     "build_scenario",
     "run_scenario",
+    "build_cells",
+    "expand_grid",
+    "run_sweep",
 ]

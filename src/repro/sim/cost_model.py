@@ -26,7 +26,7 @@ time (plus a small prefetch overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # type-only: a runtime import would cycle through repro.core
     from ..core.modules import LayerModule
@@ -116,6 +116,32 @@ class CostModel:
         self.gpu = gpu or GPUSpec()
         self.cache_overhead_fraction = cache_overhead_fraction
         self.reference_overhead_fraction = reference_overhead_fraction
+        self._module_params_key: Optional[Tuple[int, ...]] = None
+        self._module_params_src: Optional[List[LayerModule]] = None
+
+    def fingerprint(self) -> Tuple:
+        """Hashable digest of every parameter that shapes iteration timing.
+
+        The steady-state fast-forward cache
+        (:meth:`~repro.sim.engine.EventDrivenEngine.simulate_iteration`) keys
+        memoized iterations on this digest, so two cost models with identical
+        structure share cache entries and a *different* model can never alias
+        one.  The per-module parameter counts are captured once — a cost
+        model is treated as immutable after construction (swap the module
+        list and the digest is recomputed; mutate it in place and the engine
+        must be told via ``clear_fast_forward_cache``).
+        """
+        if self._module_params_src is not self.layer_modules:
+            self._module_params_key = tuple(m.num_params for m in self.layer_modules)
+            self._module_params_src = self.layer_modules
+        return (
+            self._module_params_key,
+            self.batch_size,
+            self.gpu.fp_seconds_per_param,
+            self.gpu.bp_fp_ratio,
+            self.cache_overhead_fraction,
+            self.reference_overhead_fraction,
+        )
 
     # ------------------------------------------------------------------ #
     # Per-module primitives

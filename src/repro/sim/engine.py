@@ -33,12 +33,29 @@ over :class:`~repro.sim.cluster.Cluster` resources:
   accepts a *sequence* of resource names — the per-ToR topology mode, where
   a bucket reserves capacity on every fabric link its placement crosses
   (its ToR uplinks and, cross-rack, the core) and completes when the
-  slowest crossed link delivers it.
+  slowest crossed link delivers it;
+* **steady-state fast-forward** — training is thousands of *identical*
+  iterations, so the engine memoizes the fully-resolved relative timing of
+  every iteration it simulates, keyed by the complete dynamics state
+  (cost-model fingerprint, frozen prefix, cached-FP mode, policy, worker
+  set, per-worker speed factors, communication pricing and the crossed
+  links).  A later call with the same key replays the cached timing in
+  O(1) — re-committing the same occupancy windows on the crossed links, so
+  byte accounting and cross-job contention stay exact — instead of
+  re-running the bucket heap.  Any state transition invalidates the replay:
+  a freeze/unfreeze, resize or speed change alters the key, and traffic
+  from another job on a crossed link (arrival, departure, cancel/re-flow)
+  fails the quiet-link precondition, forcing a full re-simulation.  See
+  ``docs/performance.md`` for the key and invalidation rules.
 
 The engine is deterministic: event ties are broken by insertion sequence and
 no randomness is used, so two runs with identical inputs produce identical
-timelines.  For single-job configurations without communication it reproduces
-the closed-form :class:`CostModel` totals exactly (see
+timelines.  The event loop runs in *relative* time (anchored at 0) and
+translates to absolute time only at the edges — shared-resource reservations
+and the returned result — which makes a fast-forwarded iteration
+bit-identical to the event-by-event simulation it replays.  For single-job
+configurations without communication it reproduces the closed-form
+:class:`CostModel` totals exactly (see
 :meth:`EventDrivenEngine.closed_form_deviation`), which keeps the cheap
 closed-form path usable as a validated fast mode.
 """
@@ -46,7 +63,6 @@ closed-form path usable as a validated fast mode.
 from __future__ import annotations
 
 import heapq
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -147,6 +163,34 @@ class EngineIterationResult:
         }
 
 
+@dataclass(frozen=True)
+class _FastForwardEntry:
+    """Fully-resolved *relative* timing of one simulated iteration.
+
+    Everything is anchored at iteration start = 0, so a replay at any
+    ``start_time`` reconstructs the absolute result as ``start_time + rel``
+    — the exact arithmetic the live loop performs, hence bit-identical.
+    ``reservations`` are the occupancy windows the iteration placed on its
+    crossed links: ``(link index, relative request time, duration, bytes)``,
+    re-committed on every replay so byte audits and cross-job contention
+    stay exact.  ``cacheable`` is False when any reservation was delayed or
+    stretched by another job's traffic (a contended iteration is never a
+    steady state worth caching).
+    """
+
+    forward: float
+    backward: float
+    communication: float
+    exposed_communication: float
+    cache_overhead: float
+    reference_overhead: float
+    rel_end: float
+    num_events: int
+    worker_rel_end: Tuple[float, ...]
+    reservations: Tuple[Tuple[int, float, float, int], ...]
+    cacheable: bool
+
+
 #: A worker handed to the engine: either a topology-aware GPU device or a
 #: bare name (single-node simulations that need no cluster graph).
 WorkerLike = Union[GPUDevice, str]
@@ -163,52 +207,32 @@ class EventDrivenEngine:
     allreduce:
         Communication model used to price gradient buckets; built from
         ``cluster`` when omitted.
-    comm_scale:
-        **Deprecated.** Flat multiplier on every bucket's transmission time,
-        formerly used to fake bandwidth sharing between concurrent
-        multi-machine jobs.  A scale of ``k`` is kept as an exact shim for an
-        equivalent shared link running at ``bandwidth / k`` — but real
-        contention should be modelled with named shared resources
-        (``link_resource``/:meth:`storage_transfer`) instead.
+    memoize:
+        Enables the steady-state fast-forward cache (on by default).  With
+        it off every iteration is simulated event by event — the reference
+        path the equality tests and the fast-forward microbenchmark compare
+        against.
     """
 
     def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
-                 comm_scale: float = 1.0):
+                 memoize: bool = True):
         """Bind the engine to a cluster's topology and shared resources."""
         self.cluster = cluster
         self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
         #: Shared-resource timelines (links + storage); populated from the
         #: cluster's named resources, extendable with :meth:`add_resource`.
         self.resources = ResourcePool(cluster.resources.values() if cluster is not None else None)
-        self._comm_scale = 1.0
-        if comm_scale != 1.0:
-            self.comm_scale = comm_scale  # route through the deprecation shim
         #: Per-GPU relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
         #: straggler whose compute segments take twice as long).
         self.gpu_speed: Dict[str, float] = {}
-
-    # ------------------------------------------------------------------ #
-    # Deprecated comm_scale shim
-    # ------------------------------------------------------------------ #
-    @property
-    def comm_scale(self) -> float:
-        """Deprecated flat multiplier on every transfer (1.0 = off)."""
-        return self._comm_scale
-
-    @comm_scale.setter
-    def comm_scale(self, value: float) -> None:
-        """Accept-and-warn shim: scale ``k`` == a link at ``bandwidth/k``."""
-        value = float(value)
-        if value <= 0:
-            raise ValueError("comm_scale must be positive")
-        if value != 1.0:
-            warnings.warn(
-                "comm_scale is deprecated: model cross-job contention with shared "
-                "resources (Cluster resources + link_resource / storage_transfer) "
-                f"instead. The scale {value} is applied as the exact equivalent of a "
-                f"shared link running at bandwidth/{value}.",
-                DeprecationWarning, stacklevel=2)
-        self._comm_scale = value
+        #: Steady-state fast-forward switch (see :meth:`simulate_iteration`).
+        self.memoize = bool(memoize)
+        self._cache: Dict[Tuple, _FastForwardEntry] = {}
+        #: Lightweight perf counters: live events processed, iterations
+        #: simulated event by event vs fast-forwarded from the cache.
+        self.events_processed = 0
+        self.iterations_simulated = 0
+        self.iterations_fast_forwarded = 0
 
     # ------------------------------------------------------------------ #
     # Scenario knobs
@@ -241,6 +265,30 @@ class EventDrivenEngine:
     def speed_factor(self, gpu_name: str) -> float:
         """The GPU's relative speed (1.0 when never overridden)."""
         return self.gpu_speed.get(str(gpu_name), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Fast-forward cache management and counters
+    # ------------------------------------------------------------------ #
+    def clear_fast_forward_cache(self) -> None:
+        """Drop every memoized iteration (e.g. after mutating a cost model)."""
+        self._cache.clear()
+
+    def perf_counters(self) -> Dict[str, object]:
+        """Deterministic plain-data view of the engine's perf counters.
+
+        ``cache_hit_rate`` is the fraction of simulated iterations served by
+        the fast-forward cache; ``events_processed`` counts only the events
+        the live loop actually popped (fast-forwarded iterations process
+        none — that is the point).
+        """
+        total = self.iterations_simulated + self.iterations_fast_forwarded
+        return {
+            "events_processed": self.events_processed,
+            "iterations_simulated": self.iterations_simulated,
+            "iterations_fast_forwarded": self.iterations_fast_forwarded,
+            "cache_hit_rate": (self.iterations_fast_forwarded / total) if total else 0.0,
+            "cache_entries": len(self._cache),
+        }
 
     # ------------------------------------------------------------------ #
     # Segment construction
@@ -292,13 +340,13 @@ class EventDrivenEngine:
         """Transmission time of one module's gradient bucket."""
         num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
         if comm_seconds_per_byte is not None:
-            return num_bytes * comm_seconds_per_byte * self.comm_scale
+            return num_bytes * comm_seconds_per_byte
         if self.allreduce is None or len(workers) <= 1:
             return 0.0
         devices = [w for w in workers if isinstance(w, GPUDevice)]
         if len(devices) != len(workers):
             return 0.0
-        return self.allreduce.allreduce_seconds(num_bytes, list(devices)) * self.comm_scale
+        return self.allreduce.allreduce_seconds(num_bytes, list(devices))
 
     def transfer_seconds(self, num_bytes: int, workers: Optional[Sequence[WorkerLike]] = None,
                          seconds_per_byte: Optional[float] = None) -> float:
@@ -316,7 +364,7 @@ class EventDrivenEngine:
         if num_bytes <= 0:
             return 0.0
         if seconds_per_byte is not None:
-            return num_bytes * float(seconds_per_byte) * self.comm_scale
+            return num_bytes * float(seconds_per_byte)
         if self.cluster is None or not workers:
             return 0.0
         machines = {w.machine for w in workers if isinstance(w, GPUDevice)}
@@ -324,7 +372,7 @@ class EventDrivenEngine:
             return 0.0
         nic_gbps = min(m.nic_gbps for m in self.cluster.machines if m.name in machines)
         latency = self.allreduce.latency_seconds if self.allreduce is not None else 0.0
-        return latency + CostModel.transfer_seconds_at(num_bytes, nic_gbps) * self.comm_scale
+        return latency + CostModel.transfer_seconds_at(num_bytes, nic_gbps)
 
     def _worker_nic_cap_gbps(self, workers: Optional[Sequence[WorkerLike]]) -> Optional[float]:
         """Slowest NIC among the workers' machines (endpoint-side bandwidth cap)."""
@@ -337,21 +385,25 @@ class EventDrivenEngine:
 
     def storage_transfer(self, num_bytes: int, start_time: float, resource: str,
                          workers: Optional[Sequence[WorkerLike]] = None,
-                         job: Optional[str] = None, kind: str = "checkpoint") -> Tuple[float, float]:
+                         job: Optional[str] = None, kind: str = "checkpoint",
+                         weight: float = 1.0) -> Tuple[float, float]:
         """Queue a checkpoint/restore transfer on a shared storage resource.
 
-        Reserves a FIFO window on the named resource's timeline — concurrent
-        writers genuinely wait for each other — and returns ``(start, end)``.
-        The effective bandwidth is the minimum of the resource's capacity and
-        the slowest NIC among the workers' machines (a writer cannot outrun
-        its own uplink).  Unknown resource names raise ``KeyError`` at call
-        time, like job and GPU names.
+        Reserves a window on the named resource's timeline — concurrent
+        writers genuinely wait for (or share capacity with) each other — and
+        returns ``(start, end)``.  The effective bandwidth is the minimum of
+        the resource's capacity and the slowest NIC among the workers'
+        machines (a writer cannot outrun its own uplink).  ``weight`` is the
+        job's fair-share weight on processor-sharing resources (ignored by
+        FIFO ones).  Unknown resource names raise ``KeyError`` at call time,
+        like job and GPU names.
         """
         timeline = self.resource_timeline(resource)
         if num_bytes <= 0:
             return float(start_time), float(start_time)
         return timeline.reserve_bytes(start_time, int(num_bytes), job=job, kind=kind,
-                                      cap_gbps=self._worker_nic_cap_gbps(workers))
+                                      cap_gbps=self._worker_nic_cap_gbps(workers),
+                                      weight=weight)
 
     # ------------------------------------------------------------------ #
     # Core event loop
@@ -364,13 +416,16 @@ class EventDrivenEngine:
                            start_time: float = 0.0,
                            trace: Optional[List[SimEvent]] = None,
                            link_resource: Optional[Union[str, Sequence[str]]] = None,
-                           job_name: Optional[str] = None) -> EngineIterationResult:
+                           job_name: Optional[str] = None,
+                           job_weight: float = 1.0) -> EngineIterationResult:
         """Simulate one data-parallel iteration and return its timing breakdown.
 
         Parameters
         ----------
         cost_model:
-            Supplies per-module compute times and gradient volumes.
+            Supplies per-module compute times and gradient volumes.  Treated
+            as immutable: the fast-forward cache fingerprints its parameters
+            once (call :meth:`clear_fast_forward_cache` after mutating one).
         workers:
             GPU devices (or names) running the job; ``None`` means one
             anonymous nominal-speed GPU.
@@ -392,43 +447,146 @@ class EventDrivenEngine:
             fair-share per the resource's ``policy``), completing when the
             slowest crossed link delivers them — so buckets from *other*
             jobs simulated on the same engine delay this job's
-            communication (and vice versa).  ``None`` keeps the job's
-            communication private — the single-job behaviour, identical to
-            earlier revisions.
+            communication (and vice versa).  A bucket's occupancy on each
+            crossed link is at least the link's own serialization time of
+            its bytes, so an *oversubscribed* link (e.g. ``core_gbps``
+            below the ToR aggregate) stretches delivery even for a lone
+            job — the knob the ``repro sim sweep`` oversubscription
+            studies turn.  ``None`` keeps the job's communication private
+            — the single-job behaviour, identical to earlier revisions.
         job_name:
             Owner recorded on the shared resource's occupancy windows (byte
             accounting and cancellation on preemption/resize).
+        job_weight:
+            Fair-share weight of this job's transfers on processor-sharing
+            resources (capacity splits proportionally to weight; the default
+            1.0 keeps the even split).
+
+        With ``memoize`` on, an iteration whose complete dynamics state
+        (cost model, frozen prefix, cached-FP mode, policy, reference
+        overhead, communication pricing, worker names and speed factors,
+        crossed links) matches a previously simulated one is
+        **fast-forwarded**: its cached relative timing is replayed at
+        ``start_time`` and its link reservations re-committed, producing a
+        bit-identical result without running the event loop.  The replay
+        only happens while every crossed link is *quiet* (no occupancy at or
+        beyond ``start_time``); any other job's traffic on a crossed link
+        forces a live re-simulation.  Tracing (``trace``) always bypasses
+        the cache.
         """
         if policy not in SchedulePolicy.ALL:
             raise ValueError(f"unknown policy {policy!r}; expected one of {SchedulePolicy.ALL}")
         names = self._worker_names(workers)
         worker_list = list(workers) if workers else list(names)
-        segments, cache_overhead, reference_overhead = self._segments(
-            cost_model, frozen_prefix, cached_fp, include_reference_overhead)
         num_modules = len(cost_model.layer_modules)
         frozen_prefix = max(0, min(frozen_prefix, num_modules))
-        bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
         if link_resource is None:
+            link_names: Tuple[str, ...] = ()
             link_timelines: List[BaseResourceTimeline] = []
         elif isinstance(link_resource, str):
+            link_names = (link_resource,)
             link_timelines = [self.resource_timeline(link_resource)]
         else:
-            link_timelines = [self.resource_timeline(name) for name in link_resource]
+            link_names = tuple(link_resource)
+            link_timelines = [self.resource_timeline(name) for name in link_names]
+
+        key: Optional[Tuple] = None
+        if self.memoize and trace is None:
+            key = (
+                cost_model.fingerprint(),
+                tuple(names),
+                # Bare worker *names* price communication as zero while
+                # GPUDevice workers go through the all-reduce model — the
+                # same names must not share an entry across the two forms.
+                all(isinstance(w, GPUDevice) for w in worker_list),
+                tuple(self.gpu_speed.get(name, 1.0) for name in names),
+                frozen_prefix,
+                cached_fp,
+                policy,
+                include_reference_overhead,
+                comm_seconds_per_byte,
+                link_names,
+            )
+            entry = self._cache.get(key)
+            if entry is not None and all(t.busy_until <= start_time for t in link_timelines):
+                return self._fast_forward(entry, names, start_time, link_timelines,
+                                          job_name, job_weight)
+
+        entry = self._simulate_live(cost_model, worker_list, names, frozen_prefix, cached_fp,
+                                    policy, include_reference_overhead, comm_seconds_per_byte,
+                                    start_time, trace, link_timelines, job_name, job_weight)
+        if key is not None and entry.cacheable:
+            self._cache[key] = entry
+        return self._materialize(entry, names, start_time)
+
+    def _materialize(self, entry: _FastForwardEntry, names: List[str],
+                     start_time: float) -> EngineIterationResult:
+        """Translate a relative-time entry into an absolute-time result."""
+        return EngineIterationResult(
+            forward=entry.forward,
+            backward=entry.backward,
+            communication=entry.communication,
+            exposed_communication=entry.exposed_communication,
+            cache_overhead=entry.cache_overhead,
+            reference_overhead=entry.reference_overhead,
+            start_time=start_time,
+            end_time=start_time + entry.rel_end,
+            num_events=entry.num_events,
+            per_worker_compute_end={name: start_time + rel
+                                    for name, rel in zip(names, entry.worker_rel_end)},
+        )
+
+    def _fast_forward(self, entry: _FastForwardEntry, names: List[str], start_time: float,
+                      link_timelines: List[BaseResourceTimeline], job_name: Optional[str],
+                      job_weight: float) -> EngineIterationResult:
+        """Replay a memoized iteration at ``start_time`` in O(#reservations).
+
+        The cached link reservations are re-committed at their translated
+        absolute times — the same ``start_time + rel`` arithmetic the live
+        loop performs — so per-link byte audits and the delays later jobs
+        experience are exactly what an event-by-event simulation would have
+        produced.
+        """
+        self.iterations_fast_forwarded += 1
+        for link_index, rel_request, seconds, num_bytes in entry.reservations:
+            link_timelines[link_index].reserve(start_time + rel_request, seconds,
+                                               num_bytes=num_bytes, job=job_name,
+                                               kind="allreduce", weight=job_weight)
+        return self._materialize(entry, names, start_time)
+
+    def _simulate_live(self, cost_model: CostModel, worker_list: List[WorkerLike],
+                       names: List[str], frozen_prefix: int, cached_fp: bool, policy: str,
+                       include_reference_overhead: bool, comm_seconds_per_byte: Optional[float],
+                       start_time: float, trace: Optional[List[SimEvent]],
+                       link_timelines: List[BaseResourceTimeline], job_name: Optional[str],
+                       job_weight: float) -> _FastForwardEntry:
+        """Run the event loop once, in relative time, and record its resolution.
+
+        The loop is anchored at 0; shared-resource reservations are placed at
+        ``start_time + rel`` as they happen.  A reservation that comes back
+        delayed or stretched (another job's traffic on the link) feeds its
+        completion back into the loop and marks the iteration uncacheable.
+        """
+        segments, cache_overhead, reference_overhead = self._segments(
+            cost_model, frozen_prefix, cached_fp, include_reference_overhead)
+        bytescheduler = policy in (SchedulePolicy.BYTESCHEDULER, SchedulePolicy.EGERIA_BYTESCHEDULER)
 
         queue = EventQueue()
         num_events = 0
-        compute_end = {name: start_time for name in names}
+        compute_end = {name: 0.0 for name in names}
         bucket_done_workers: Dict[int, int] = {}
         pending_buckets: List[Tuple[float, int]] = []  # min-heap of (priority, module_index)
         ready_counter = 0
         link_busy = False
         comm_busy_total = 0.0
-        comm_end = start_time
-        last_backward_end = start_time
+        comm_end = 0.0
+        reservations: List[Tuple[int, float, float, int]] = []
+        cacheable = True
 
         def record(event: SimEvent) -> None:
             if trace is not None:
-                trace.append(event)
+                trace.append(SimEvent(start_time + event.time, event.seq, event.kind,
+                                      event.payload))
 
         def start_segment(worker_pos: int, seg_index: int, now: float) -> None:
             name = names[worker_pos]
@@ -437,27 +595,46 @@ class EventDrivenEngine:
             queue.push(now + duration, "segment_done", (worker_pos, seg_index))
 
         def start_next_bucket(now: float) -> None:
-            nonlocal link_busy
+            nonlocal link_busy, cacheable
             if link_busy or not pending_buckets:
                 return
             _priority, module_index = heapq.heappop(pending_buckets)
-            transmit = self._bucket_seconds(cost_model, module_index, worker_list, comm_seconds_per_byte)
+            transmit = self._bucket_seconds(cost_model, module_index, worker_list,
+                                            comm_seconds_per_byte)
             end = now + transmit
             if link_timelines and transmit > 0.0:
                 # Queue on every crossed shared link: the bucket may wait for
                 # (or share capacity with) other jobs' in-flight transfers,
                 # and completes when the slowest crossed link delivers it.
+                # Occupancy on a link is at least the link's *own*
+                # serialization time of the bucket's bytes (bandwidth term
+                # only — per-transfer latency stays priced once, by the
+                # all-reduce model, not per crossed link), so an
+                # oversubscribed link (core_gbps below the ToR aggregate)
+                # genuinely stretches delivery even without competing jobs.
                 num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
-                for timeline in link_timelines:
-                    _start, link_end = timeline.reserve(now, transmit, num_bytes=num_bytes,
-                                                        job=job_name, kind="allreduce")
-                    end = max(end, link_end)
+                abs_request = start_time + now
+                for link_index, timeline in enumerate(link_timelines):
+                    link_seconds = max(transmit, CostModel.transfer_seconds_at(
+                        num_bytes, timeline.resource.bandwidth_gbps))
+                    link_start, link_end = timeline.reserve(abs_request, link_seconds,
+                                                            num_bytes=num_bytes, job=job_name,
+                                                            kind="allreduce", weight=job_weight)
+                    reservations.append((link_index, now, link_seconds, num_bytes))
+                    if link_start == abs_request and link_end == abs_request + link_seconds:
+                        end = max(end, now + link_seconds)
+                    else:
+                        # Contended: another job's traffic delayed (FIFO) or
+                        # stretched (fair-share) this bucket — not a steady
+                        # state, so the iteration must not be memoized.
+                        cacheable = False
+                        end = max(end, link_end - start_time)
             link_busy = True
             queue.push(end, "comm_done", (module_index, transmit))
 
         for worker_pos in range(len(names)):
             if segments:
-                start_segment(worker_pos, 0, start_time)
+                start_segment(worker_pos, 0, 0.0)
 
         while queue:
             event = queue.pop()
@@ -470,7 +647,6 @@ class EventDrivenEngine:
                 phase, module_index, _nominal = segments[seg_index]
                 compute_end[name] = now
                 if phase == "backward":
-                    last_backward_end = max(last_backward_end, now)
                     done = bucket_done_workers.get(module_index, 0) + 1
                     bucket_done_workers[module_index] = done
                     if done == len(names):
@@ -493,22 +669,25 @@ class EventDrivenEngine:
                 comm_end = max(comm_end, now)
                 start_next_bucket(now)
 
-        compute_end_max = max(compute_end.values()) if compute_end else start_time
-        end_time = max(compute_end_max, comm_end)
+        self.iterations_simulated += 1
+        self.events_processed += num_events
+        compute_end_max = max(compute_end.values()) if compute_end else 0.0
+        rel_end = max(compute_end_max, comm_end)
         forward = sum(sec for phase, _i, sec in segments if phase == "forward")
         backward = sum(sec for phase, _i, sec in segments if phase == "backward")
         exposed = max(comm_end - compute_end_max, 0.0)
-        return EngineIterationResult(
+        return _FastForwardEntry(
             forward=forward,
             backward=backward,
             communication=comm_busy_total,
             exposed_communication=exposed,
             cache_overhead=cache_overhead,
             reference_overhead=reference_overhead,
-            start_time=start_time,
-            end_time=end_time,
+            rel_end=rel_end,
             num_events=num_events,
-            per_worker_compute_end=dict(compute_end),
+            worker_rel_end=tuple(compute_end[name] for name in names),
+            reservations=tuple(reservations),
+            cacheable=cacheable,
         )
 
     # ------------------------------------------------------------------ #
@@ -528,6 +707,10 @@ class EventDrivenEngine:
         the next iteration's forward pass, so the next iteration starts as
         soon as compute finishes and only communication still exposed after
         the forward window delays the backward pass.
+
+        With ``memoize`` on, every iteration after the first is a cache hit
+        (the dynamics state never changes mid-run), so an N-iteration run
+        costs one event-loop execution plus N - 1 O(1) replays.
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")

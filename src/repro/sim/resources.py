@@ -183,8 +183,14 @@ class BaseResourceTimeline:
         return tuple(self._records)
 
     def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
-                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
-        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window."""
+                job: Optional[str] = None, kind: str = "transfer",
+                weight: float = 1.0) -> Tuple[float, float]:
+        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window.
+
+        ``weight`` is the transfer's fair-share weight — processor-sharing
+        timelines split capacity proportionally to it; FIFO serialization
+        ignores it (a queue has no notion of rate shares).
+        """
         raise NotImplementedError
 
     def cancel(self, job: str, after_time: float) -> int:
@@ -192,10 +198,12 @@ class BaseResourceTimeline:
         raise NotImplementedError
 
     def reserve_bytes(self, earliest_start: float, num_bytes: int, job: Optional[str] = None,
-                      kind: str = "transfer", cap_gbps: Optional[float] = None) -> Tuple[float, float]:
+                      kind: str = "transfer", cap_gbps: Optional[float] = None,
+                      weight: float = 1.0) -> Tuple[float, float]:
         """Reserve a transfer priced by the resource's own bandwidth (and ``cap_gbps``)."""
         seconds = self.resource.transfer_seconds(num_bytes, cap_gbps=cap_gbps)
-        return self.reserve(earliest_start, seconds, num_bytes=num_bytes, job=job, kind=kind)
+        return self.reserve(earliest_start, seconds, num_bytes=num_bytes, job=job, kind=kind,
+                            weight=weight)
 
     # ------------------------------------------------------------------ #
     # Accounting
@@ -286,8 +294,14 @@ class ResourceTimeline(BaseResourceTimeline):
         self._busy_until = max(self._busy_until, record.end)
 
     def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
-                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
-        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window."""
+                job: Optional[str] = None, kind: str = "transfer",
+                weight: float = 1.0) -> Tuple[float, float]:
+        """Reserve ``seconds`` of occupancy; returns the ``(start, end)`` window.
+
+        ``weight`` is accepted for interface parity with the fair-share
+        discipline and ignored: FIFO windows serialize, they never share
+        capacity.
+        """
         if seconds < 0:
             raise ValueError("cannot reserve a negative duration")
         earliest_start = float(earliest_start)
@@ -351,7 +365,12 @@ class ResourceTimeline(BaseResourceTimeline):
 
 @dataclass
 class _FairTransfer:
-    """One transfer in a processor-sharing timeline (demand in capacity-seconds)."""
+    """One transfer in a processor-sharing timeline (demand in capacity-seconds).
+
+    ``weight`` scales the transfer's share of the capacity: at any instant an
+    active transfer progresses at ``weight / sum(active weights)`` of the
+    line rate (all weights 1.0 recovers the classic even split).
+    """
 
     arrival: float
     demand: float
@@ -359,6 +378,7 @@ class _FairTransfer:
     job: Optional[str]
     kind: str
     seq: int
+    weight: float = 1.0
 
 
 class FairShareTimeline(BaseResourceTimeline):
@@ -409,17 +429,23 @@ class FairShareTimeline(BaseResourceTimeline):
             key=lambda r: (r.start, r.seq)))
 
     def reserve(self, earliest_start: float, seconds: float, num_bytes: int = 0,
-                job: Optional[str] = None, kind: str = "transfer") -> Tuple[float, float]:
+                job: Optional[str] = None, kind: str = "transfer",
+                weight: float = 1.0) -> Tuple[float, float]:
         """Admit a transfer of ``seconds`` capacity-seconds; returns ``(start, end)``.
 
         ``start`` is ``earliest_start`` itself (processor sharing serves
         immediately at a shared rate); ``end`` is the completion under the
-        recomputed fair-share schedule.
+        recomputed fair-share schedule.  ``weight`` sets the transfer's
+        capacity share relative to the other active transfers (default 1.0:
+        the classic even split); a transfer running alone always gets the
+        full capacity regardless of its weight (work conservation).
         """
         if seconds < 0:
             raise ValueError("cannot reserve a negative duration")
+        if weight <= 0:
+            raise ValueError("fair-share weight must be positive")
         transfer = _FairTransfer(float(earliest_start), float(seconds), int(num_bytes),
-                                 job, kind, self._seq)
+                                 job, kind, self._seq, weight=float(weight))
         self._seq += 1
         self._transfers.append(transfer)
         if transfer.arrival < self._closed_until:
@@ -507,12 +533,16 @@ class FairShareTimeline(BaseResourceTimeline):
 
         A single chronological sweep over arrival/completion breakpoints:
         between breakpoints the active set is constant and each active
-        transfer's remaining demand drains at ``1/len(active)``.  Ties
-        (simultaneous completions) resolve exactly because tied transfers
-        carry identical remaining demand.
+        transfer's remaining demand drains at ``weight / sum(weights)`` of
+        the line rate (all weights 1.0: the classic ``1/len(active)`` even
+        split, bit-for-bit).  Ties (simultaneous completions) resolve
+        exactly because tied transfers carry identical remaining-to-weight
+        ratios; a transfer running alone drains at exactly the full rate, so
+        its completion is ``now + remaining`` with no weight arithmetic.
         """
         order = sorted(self._open, key=lambda t: (t.arrival, t.seq))
         remaining: Dict[int, float] = {}
+        weights: Dict[int, float] = {}
         index, now = 0, 0.0
         total = len(order)
         open_max_end = 0.0
@@ -521,25 +551,43 @@ class FairShareTimeline(BaseResourceTimeline):
                 now = order[index].arrival
             while index < total and order[index].arrival <= now:
                 remaining[order[index].seq] = order[index].demand
+                weights[order[index].seq] = order[index].weight
                 index += 1
             if not remaining:
                 continue  # jump to the next arrival
             next_arrival = order[index].arrival if index < total else float("inf")
-            min_left = min(remaining.values())
-            finish = now + min_left * len(remaining)
+            if len(remaining) == 1:
+                # Sole active transfer: full line rate regardless of weight
+                # (work conservation), and exact arithmetic — the quiet-link
+                # case the engine's fast-forward replay relies on.
+                (solo_seq,) = remaining
+                finish = now + remaining[solo_seq]
+                if finish <= next_arrival:
+                    del remaining[solo_seq]
+                    self._ends[solo_seq] = finish
+                    open_max_end = max(open_max_end, finish)
+                    now = finish
+                else:
+                    remaining[solo_seq] -= next_arrival - now
+                    now = next_arrival
+                continue
+            total_weight = sum(weights[seq] for seq in remaining)
+            ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
+            min_ratio = min(ratios.values())
+            finish = now + min_ratio * total_weight
             if finish <= next_arrival:
-                done = [seq for seq, left in remaining.items() if left == min_left]
+                done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
                 for seq in list(remaining):
-                    remaining[seq] -= min_left
+                    remaining[seq] -= min_ratio * weights[seq]
                 for seq in done:
                     del remaining[seq]
                     self._ends[seq] = finish
                     open_max_end = max(open_max_end, finish)
                 now = finish
             else:
-                progress = (next_arrival - now) / len(remaining)
+                elapsed = next_arrival - now
                 for seq in list(remaining):
-                    remaining[seq] -= progress
+                    remaining[seq] -= elapsed * weights[seq] / total_weight
                 now = next_arrival
         self._open_max_end = open_max_end
         self._busy_until = max(self._busy_until, open_max_end)

@@ -18,6 +18,7 @@ Scenario schema (all keys optional unless noted)::
                      "latency_seconds": 0.0001, "policy": "fifo"}],
       "placement": "fifo",
       "seed": 0,
+      "memoize": true,
       "jobs": [
         {"name": "a",                       # required, unique
          "workload": "resnet50_imagenet",   # cost model source ...
@@ -28,7 +29,7 @@ Scenario schema (all keys optional unless noted)::
          "policy": "vanilla", "frozen_prefix": 0, "cached_fp": false,
          "include_reference_overhead": false, "arrival_time": 0.0,
          "checkpoint_every": 5, "storage": "ckpt-store",
-         "async_checkpoint": false, "link": null}
+         "async_checkpoint": false, "link": null, "weight": 1.0}
       ],
       "gpu_speeds":  [{"gpu": "node0:gpu0", "factor": 0.5, "at_time": 0.0}],
       "failures":    [{"gpu": "node0:gpu0", "at_time": 1.0, "recover_at": null}],
@@ -52,6 +53,12 @@ does not pin explicitly.  ``placement`` accepts ``"fifo"``,
 ``"round_robin"`` and ``"tor_pack"`` (rack packing; pair it with
 ``"per_tor_fabric": true`` so placement locality decides which fabric links
 a job contends on).
+
+Per-job ``weight`` sets the job's fair-share weight on processor-sharing
+resources (capacity split ∝ weight; default 1.0).  The top-level
+``memoize`` flag (default ``true``) toggles the engine's steady-state
+fast-forward cache — results are bit-identical either way (the equality the
+fast-forward test suite asserts); turning it off only makes the run slower.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ from typing import Dict, List, Optional, Union
 
 from .cluster import Cluster, ClusterSpec
 from .cost_model import CostModel
+from .engine import EventDrivenEngine
 from .resources import SharedResource
 from .scheduler import ClusterScheduler, SimJob
 
@@ -73,9 +81,10 @@ _RESOURCE_KEYS = {"name", "bandwidth_gbps", "kind", "latency_seconds", "policy"}
 _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers",
              "iterations", "policy", "frozen_prefix", "cached_fp",
              "include_reference_overhead", "arrival_time", "checkpoint_every",
-             "storage", "link", "async_checkpoint"}
+             "storage", "link", "async_checkpoint", "weight"}
 _SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
-                  "gpu_speeds", "failures", "resizes", "preemptions", "resumes"}
+                  "gpu_speeds", "failures", "resizes", "preemptions", "resumes",
+                  "memoize"}
 
 
 def _check_keys(mapping: Dict, allowed: set, where: str) -> None:
@@ -135,7 +144,9 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
             resource_spec.setdefault("policy", default_policy)
         cluster.add_resource(SharedResource(**resource_spec))
 
-    scheduler = ClusterScheduler(cluster, placement=str(spec.get("placement", "fifo")),
+    engine = EventDrivenEngine(cluster, memoize=bool(spec.get("memoize", True)))
+    scheduler = ClusterScheduler(cluster, engine=engine,
+                                 placement=str(spec.get("placement", "fifo")),
                                  seed=int(spec.get("seed", 0)))
     jobs = spec.get("jobs") or []
     if not jobs:
@@ -159,6 +170,7 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
             storage=job_spec.get("storage"),
             link=job_spec.get("link"),
             async_checkpoint=bool(job_spec.get("async_checkpoint", False)),
+            weight=float(job_spec.get("weight", 1.0)),
         ))
 
     for knob in spec.get("gpu_speeds") or []:

@@ -41,6 +41,16 @@ scenarios the closed-form model cannot express become one-liners:
   compute as soon as an iteration finishes while the snapshot drains on the
   storage resource in the background; the checkpoint only becomes a valid
   rollback target once its write completes.
+* **Weighted fair share** — ``SimJob.weight`` sets the job's capacity share
+  on processor-sharing resources (split ∝ weight; default 1.0 keeps the
+  even split, FIFO resources ignore it).
+* **Steady-state fast-forward** — identical back-to-back iterations are
+  served from the engine's memoized timing in O(1) instead of re-running
+  the event loop; any state transition (freeze/unfreeze, resize, migrate,
+  speed change, another job's traffic on a crossed link, cancel/re-flow)
+  forces a live re-simulation, so results are bit-identical to the
+  event-by-event path.  :attr:`SchedulerResult.perf` reports how much of
+  the run was fast-forwarded.
 
 Everything is deterministic for a fixed seed: the event heap breaks ties by
 insertion order and the only randomness (optional placement jitter) comes
@@ -85,6 +95,12 @@ class SimJob:
     snapshot drains on the storage resource in the background, becoming a
     valid rollback target only once the write completes.
 
+    ``weight`` is the job's fair-share weight on processor-sharing resources
+    (``policy="fair"``): capacity splits proportionally to weight among the
+    transfers active at each instant, so a weight-2 job's buckets drain
+    twice as fast as a weight-1 competitor's.  The default 1.0 keeps the
+    even split; FIFO resources ignore weights entirely.
+
     The ``begin_iteration``/``iteration_profile``/``checkpoint_write_bytes``
     /``restore_read_bytes``/``rollback`` hooks are the scheduler's interface
     to the job; :class:`~repro.sim.trainer_job.TrainerJob` overrides them to
@@ -105,11 +121,14 @@ class SimJob:
     storage: Optional[str] = None
     link: Optional[str] = None
     async_checkpoint: bool = False
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
-        """Validate the checkpoint cadence eagerly."""
+        """Validate the checkpoint cadence and fair-share weight eagerly."""
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive (or None to disable)")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
 
     def prefix_at(self, iteration: int) -> int:
         """Frozen-prefix length in force during ``iteration``."""
@@ -223,6 +242,12 @@ class SchedulerResult:
     ``resources`` summarizes every shared resource's occupancy: busy seconds,
     total bytes and the per-job / per-kind byte split — the audit trail the
     conservation property tests check against the job records.
+
+    ``perf`` carries the engine's lightweight perf counters
+    (``events_processed``, ``iterations_simulated``,
+    ``iterations_fast_forwarded``, ``cache_hit_rate``) — how much of the run
+    the steady-state fast-forward cache served without touching the event
+    loop.
     """
 
     makespan: float
@@ -230,6 +255,7 @@ class SchedulerResult:
     gpu_busy_seconds: Dict[str, float]
     trace: List[Dict[str, object]]
     resources: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    perf: Dict[str, object] = field(default_factory=dict)
 
     def utilization(self) -> Dict[str, float]:
         """Per-GPU busy fraction of the makespan."""
@@ -244,6 +270,7 @@ class SchedulerResult:
             "jobs": {name: record.as_dict() for name, record in sorted(self.jobs.items())},
             "utilization": dict(sorted(self.utilization().items())),
             "resources": {name: dict(summary) for name, summary in sorted(self.resources.items())},
+            "perf": dict(self.perf),
         }
 
 
@@ -547,7 +574,8 @@ class ClusterScheduler:
         if storage is None:
             return self.engine.transfer_seconds(num_bytes, workers)
         _start, end = self.engine.storage_transfer(num_bytes, start_time, storage,
-                                                   workers, job=job.name, kind=kind)
+                                                   workers, job=job.name, kind=kind,
+                                                   weight=job.weight)
         return end - start_time
 
     def _schedule_iteration(self, job: SimJob, now: float) -> None:
@@ -562,7 +590,8 @@ class ClusterScheduler:
             job.cost_model, workers=workers, frozen_prefix=prefix,
             cached_fp=cached_fp, policy=job.policy,
             include_reference_overhead=include_reference, start_time=now,
-            link_resource=self._links_for(job, workers), job_name=job.name)
+            link_resource=self._links_for(job, workers), job_name=job.name,
+            job_weight=job.weight)
         duration = result.total
         # Periodic checkpoint: the iteration that completes a checkpoint
         # interval also writes the freezing-aware incremental snapshot (the
@@ -672,7 +701,8 @@ class ClusterScheduler:
                 self._apply_resume(job_name, now)
         return SchedulerResult(makespan=makespan, jobs=dict(self.records),
                                gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace),
-                               resources=self.engine.resources.summary())
+                               resources=self.engine.resources.summary(),
+                               perf=self.engine.perf_counters())
 
     def _apply_ckpt_done(self, payload: Tuple, now: float) -> None:
         """Commit an async checkpoint once its storage write has drained."""

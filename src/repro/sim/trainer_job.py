@@ -40,7 +40,7 @@ class TrainerJob(SimJob):
     Parameters
     ----------
     name, num_workers, iterations, policy, arrival_time, checkpoint_every,
-    storage, link, async_checkpoint:
+    storage, link, async_checkpoint, weight:
         As for :class:`SimJob`.  ``iterations`` counts real training
         iterations (mini-batches); the data loader wraps to the next epoch —
         stepping the LR schedule and firing the trainer's epoch hooks — when
@@ -56,13 +56,15 @@ class TrainerJob(SimJob):
     def __init__(self, name: str, trainer, iterations: int, num_workers: int = 1,
                  policy: str = SchedulePolicy.VANILLA, arrival_time: float = 0.0,
                  checkpoint_every: Optional[int] = None, storage: Optional[str] = None,
-                 link: Optional[str] = None, async_checkpoint: bool = False):
+                 link: Optional[str] = None, async_checkpoint: bool = False,
+                 weight: float = 1.0):
         """Wrap ``trainer`` as a schedulable job priced by its own cost model."""
         SimJob.__init__(self, name=name, cost_model=trainer.cost_model,
                         num_workers=num_workers, iterations=int(iterations), policy=policy,
                         frozen_prefix=0, cached_fp=False, include_reference_overhead=False,
                         arrival_time=arrival_time, checkpoint_every=checkpoint_every,
-                        storage=storage, link=link, async_checkpoint=async_checkpoint)
+                        storage=storage, link=link, async_checkpoint=async_checkpoint,
+                        weight=weight)
         self.trainer = trainer
         #: :class:`~repro.ckpt.manager.CheckpointInfo` of every snapshot the
         #: scheduler triggered, in order (the byte audit trail).

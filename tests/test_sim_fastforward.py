@@ -1,0 +1,396 @@
+"""Tests for the steady-state fast-forward layer of the event engine.
+
+Three families of guarantees:
+
+* **Bit-identity** — an engine with memoization on produces results (totals,
+  per-worker ends, makespans, per-link bytes, checkpoint bytes) exactly
+  equal to the event-by-event reference path, at the engine, scheduler,
+  trainer-backed-job and scenario levels, plus a hypothesis property over
+  randomized multi-job scenarios.
+* **Invalidation matrix** — every dynamics transition forces a live
+  re-simulation whose timing differs from the cached steady state: a freeze
+  event, an elastic resize, a checkpointed migration, a second job arriving
+  on a crossed link, and a cancel/re-flow (preempt + resume).
+* **Counters** — ``events_processed`` / ``iterations_fast_forwarded`` /
+  ``cache_hit_rate`` surface through the engine, :class:`SchedulerResult`
+  and the scenario report.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt import CheckpointManager, MemoryBackend
+from repro.core import ClassificationTask
+from repro.core.modules import LayerModule
+from repro.baselines import VanillaTrainer
+from repro.data import DataLoader, make_dataset
+from repro import models, optim
+from repro.sim import (
+    Cluster,
+    ClusterScheduler,
+    ClusterSpec,
+    CostModel,
+    EventDrivenEngine,
+    SchedulePolicy,
+    SimJob,
+    TrainerJob,
+    paper_testbed_cluster,
+    run_scenario,
+)
+
+
+def make_cost_model(param_counts=(4000, 8000, 6000, 4000), batch_size=16):
+    modules = [LayerModule(name=f"m{i}", paths=[], blocks=[], num_params=int(c), index=i)
+               for i, c in enumerate(param_counts)]
+    return CostModel(modules, batch_size=batch_size)
+
+
+def result_dict(scheduler_result):
+    """Scheduler result for equality checks: everything but the perf counters
+    (those legitimately differ between the memoized and reference paths)."""
+    payload = scheduler_result.as_dict()
+    payload.pop("perf")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level bit-identity and counters
+# --------------------------------------------------------------------------- #
+class TestEngineFastForward:
+    def test_simulate_run_hits_cache_and_is_bit_identical(self):
+        cost_model = make_cost_model()
+        reference = EventDrivenEngine(memoize=False)
+        memoized = EventDrivenEngine()
+        kwargs = dict(frozen_prefix=1, cached_fp=True, include_reference_overhead=True,
+                      comm_seconds_per_byte=1e-10)
+        expected = [r.as_dict() for r in reference.simulate_run(cost_model, 50, **kwargs)]
+        observed = [r.as_dict() for r in memoized.simulate_run(cost_model, 50, **kwargs)]
+        assert observed == expected
+        assert memoized.iterations_simulated == 1
+        assert memoized.iterations_fast_forwarded == 49
+        assert reference.iterations_fast_forwarded == 0
+        # Fast-forwarded iterations process no events at all.
+        assert memoized.events_processed == reference.events_processed // 50
+        assert memoized.perf_counters()["cache_hit_rate"] == pytest.approx(49 / 50)
+
+    def test_freeze_event_invalidates_and_changes_timing(self):
+        engine = EventDrivenEngine()
+        cost_model = make_cost_model()
+        steady = engine.simulate_iteration(cost_model, frozen_prefix=0)
+        cached = engine.simulate_iteration(cost_model, frozen_prefix=0)
+        assert engine.iterations_fast_forwarded == 1
+        assert cached.as_dict() == steady.as_dict()
+        frozen = engine.simulate_iteration(cost_model, frozen_prefix=2)
+        # The freeze event forced a live re-simulation with a new timing.
+        assert engine.iterations_simulated == 2
+        assert frozen.total < cached.total
+
+    def test_speed_change_invalidates(self):
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        workers = cluster.workers(2, 2)
+        nominal = engine.simulate_iteration(make_cost_model(), workers=workers)
+        engine.simulate_iteration(make_cost_model(), workers=workers)
+        assert engine.iterations_fast_forwarded == 1
+        engine.set_gpu_speed(workers[0].name, 0.5)
+        slowed = engine.simulate_iteration(make_cost_model(), workers=workers)
+        assert engine.iterations_simulated == 2
+        assert slowed.total > nominal.total
+
+    def test_second_job_on_crossed_link_forces_live_resimulation(self):
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        cost_model = make_cost_model()
+        workers = cluster.workers(2, 2)
+
+        first = engine.simulate_iteration(cost_model, workers=workers,
+                                          link_resource=Cluster.FABRIC, job_name="a")
+        second = engine.simulate_iteration(cost_model, workers=workers,
+                                           link_resource=Cluster.FABRIC, job_name="a",
+                                           start_time=first.end_time)
+        assert engine.iterations_fast_forwarded == 1  # quiet link: replayed
+        assert second.total == first.total
+        # Another job's transfer lands on the fabric, overlapping the next
+        # iteration: the quiet-link precondition fails and the iteration is
+        # re-simulated with genuinely different timing.
+        engine.resource_timeline(Cluster.FABRIC).reserve(
+            second.end_time, 10 * first.total, num_bytes=123, job="b")
+        contended = engine.simulate_iteration(cost_model, workers=workers,
+                                              link_resource=Cluster.FABRIC, job_name="a",
+                                              start_time=second.end_time)
+        assert engine.iterations_fast_forwarded == 1
+        assert engine.iterations_simulated == 2
+        assert contended.total > second.total
+
+    def test_cancel_reflow_restores_cache_hits(self):
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        cost_model = make_cost_model()
+        workers = cluster.workers(2, 2)
+        first = engine.simulate_iteration(cost_model, workers=workers,
+                                          link_resource=Cluster.FABRIC, job_name="a")
+        # Job b books a long future window, then gets cancelled (the
+        # re-flow path): the link is quiet again and replays resume.
+        engine.resource_timeline(Cluster.FABRIC).reserve(
+            first.end_time, 10 * first.total, num_bytes=7, job="b")
+        engine.resources.cancel_job("b", first.end_time)
+        replayed = engine.simulate_iteration(cost_model, workers=workers,
+                                             link_resource=Cluster.FABRIC, job_name="a",
+                                             start_time=first.end_time)
+        assert engine.iterations_fast_forwarded == 1
+        assert replayed.total == first.total
+
+    def test_replay_commits_identical_link_occupancy(self):
+        """Fast-forward must not skip the byte audit: per-link windows and
+        bytes equal the event-by-event reference exactly."""
+        def occupancy(memoize):
+            cluster = paper_testbed_cluster()
+            engine = EventDrivenEngine(cluster, memoize=memoize)
+            workers = cluster.workers(2, 2)
+            clock = 0.0
+            for _ in range(5):
+                result = engine.simulate_iteration(make_cost_model(), workers=workers,
+                                                   link_resource=Cluster.FABRIC,
+                                                   job_name="a", start_time=clock)
+                clock = result.end_time
+            timeline = engine.resource_timeline(Cluster.FABRIC)
+            return [(r.start, r.end, r.num_bytes, r.job, r.kind) for r in timeline.records]
+
+        assert occupancy(True) == occupancy(False)
+
+    def test_trace_bypasses_cache(self):
+        engine = EventDrivenEngine()
+        cost_model = make_cost_model()
+        engine.simulate_iteration(cost_model)
+        trace = []
+        engine.simulate_iteration(cost_model, trace=trace, start_time=1.0)
+        assert engine.iterations_fast_forwarded == 0
+        assert engine.iterations_simulated == 2
+        assert trace and trace[0].time >= 1.0
+
+    def test_distinct_cost_models_never_alias(self):
+        engine = EventDrivenEngine()
+        small = engine.simulate_iteration(make_cost_model((1000, 1000)))
+        large = engine.simulate_iteration(make_cost_model((9000, 9000)))
+        assert engine.iterations_simulated == 2
+        assert large.total > small.total
+        # Same structure in a *new* object shares the entry (fingerprinted).
+        engine.simulate_iteration(make_cost_model((1000, 1000)))
+        assert engine.iterations_fast_forwarded == 1
+
+    def test_swapped_module_list_recomputes_fingerprint(self):
+        """The documented contract: swap ``layer_modules`` and the digest is
+        recomputed — a same-length swap must not serve the old model's
+        cached timing."""
+        engine = EventDrivenEngine()
+        cost_model = make_cost_model((1000, 2000))
+        small = engine.simulate_iteration(cost_model)
+        cost_model.layer_modules = make_cost_model((5_000_000, 7_000_000)).layer_modules
+        large = engine.simulate_iteration(cost_model)
+        assert engine.iterations_simulated == 2
+        assert large.total > 100 * small.total
+
+    def test_bare_names_and_gpu_devices_never_share_an_entry(self):
+        """String workers price communication as zero; the same names as
+        GPUDevices must not hit that comm-free cache entry."""
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        devices = cluster.workers(2, 1)
+        names = [device.name for device in devices]
+        free = engine.simulate_iteration(make_cost_model(), workers=names)
+        priced = engine.simulate_iteration(make_cost_model(), workers=devices)
+        assert engine.iterations_simulated == 2
+        assert free.communication == 0.0
+        assert priced.communication > 0.0
+        assert priced.total > free.total
+
+    def test_clear_fast_forward_cache(self):
+        engine = EventDrivenEngine()
+        engine.simulate_iteration(make_cost_model())
+        assert engine.perf_counters()["cache_entries"] == 1
+        engine.clear_fast_forward_cache()
+        assert engine.perf_counters()["cache_entries"] == 0
+        engine.simulate_iteration(make_cost_model())
+        assert engine.iterations_simulated == 2
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler-level invalidation matrix (memoized == reference throughout)
+# --------------------------------------------------------------------------- #
+class TestSchedulerInvalidationMatrix:
+    def _run(self, configure, memoize):
+        cluster = paper_testbed_cluster()
+        scheduler = ClusterScheduler(cluster, engine=EventDrivenEngine(cluster, memoize=memoize))
+        configure(scheduler)
+        return scheduler.run()
+
+    def _check_transition(self, configure, job_name="a"):
+        """The scenario must fast-forward some iterations, re-simulate at the
+        transition (timing differs), and stay bit-identical to the reference."""
+        memoized = self._run(configure, memoize=True)
+        reference = self._run(configure, memoize=False)
+        assert result_dict(memoized) == result_dict(reference)
+        assert memoized.perf["iterations_fast_forwarded"] > 0
+        assert memoized.perf["iterations_simulated"] > 1  # the transition re-simulated
+        durations = memoized.jobs[job_name].iteration_seconds
+        assert len(set(durations)) > 1, "transition did not change iteration timing"
+        return memoized
+
+    def test_freeze_schedule(self):
+        def configure(scheduler):
+            scheduler.submit(SimJob("a", make_cost_model(), num_workers=4, iterations=12,
+                                    frozen_prefix=lambda i: min(i // 4, 2), cached_fp=True))
+        self._check_transition(configure)
+
+    def test_elastic_resize(self):
+        def configure(scheduler):
+            job = SimJob("a", make_cost_model(), num_workers=2, iterations=12)
+            scheduler.submit(job)
+            single = EventDrivenEngine(paper_testbed_cluster()).simulate_iteration(
+                make_cost_model(), workers=paper_testbed_cluster().workers(1, 2)).total
+            scheduler.resize_job("a", +2, at_time=4.5 * single)
+        self._check_transition(configure)
+
+    def test_checkpointed_migration(self):
+        def configure(scheduler):
+            job = SimJob("a", make_cost_model(), num_workers=2, iterations=12,
+                         checkpoint_every=3)
+            scheduler.submit(job)
+            single = EventDrivenEngine(paper_testbed_cluster()).simulate_iteration(
+                make_cost_model(), workers=paper_testbed_cluster().workers(1, 2)).total
+            scheduler.resize_job("a", +2, at_time=4.5 * single)
+        result = self._check_transition(configure)
+        assert result.jobs["a"].restores == 1  # it really migrated
+
+    def test_second_job_arrival_on_shared_link(self):
+        # Comm-heavy jobs, so the two all-reduce streams genuinely overlap
+        # (and therefore queue) on the shared fabric.
+        heavy = (400_000, 800_000, 600_000)
+
+        def configure(scheduler):
+            steady = EventDrivenEngine(paper_testbed_cluster()).simulate_iteration(
+                make_cost_model(heavy, batch_size=4),
+                workers=paper_testbed_cluster().workers(2, 2)).total
+            scheduler.submit(SimJob("a", make_cost_model(heavy, batch_size=4),
+                                    num_workers=4, iterations=12))
+            scheduler.submit(SimJob("b", make_cost_model(heavy, batch_size=4),
+                                    num_workers=4, iterations=4,
+                                    arrival_time=3.5 * steady))
+        self._check_transition(configure)
+
+    def test_preempt_resume_cancel_reflow(self):
+        def configure(scheduler):
+            scheduler.submit(SimJob("a", make_cost_model(), num_workers=4, iterations=10,
+                                    checkpoint_every=2))
+            single = EventDrivenEngine(paper_testbed_cluster()).simulate_iteration(
+                make_cost_model(), workers=paper_testbed_cluster().workers(2, 2)).total
+            scheduler.preempt_job("a", at_time=3.5 * single)
+            scheduler.resume_job("a", at_time=6.0 * single)
+        result = self._check_transition(configure)
+        assert result.jobs["a"].preemptions == 1
+
+    def test_gpu_failure(self):
+        def configure(scheduler):
+            scheduler.submit(SimJob("a", make_cost_model(), num_workers=4, iterations=10,
+                                    checkpoint_every=2))
+            single = EventDrivenEngine(paper_testbed_cluster()).simulate_iteration(
+                make_cost_model(), workers=paper_testbed_cluster().workers(2, 2)).total
+            scheduler.inject_failure("node0:gpu0", at_time=3.5 * single)
+        result = self._check_transition(configure)
+        assert result.jobs["a"].failures == 1
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis property: fast-forward == event-by-event, end to end
+# --------------------------------------------------------------------------- #
+@given(
+    param_counts=st.lists(st.integers(min_value=1000, max_value=50_000),
+                          min_size=2, max_size=6),
+    num_workers=st.sampled_from([1, 2, 4]),
+    iterations=st.integers(min_value=1, max_value=10),
+    policy=st.sampled_from(SchedulePolicy.ALL),
+    checkpoint_every=st.sampled_from([None, 2]),
+    prefix_cap=st.integers(min_value=0, max_value=4),
+    fabric_policy=st.sampled_from(["fifo", "fair"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_fast_forward_makespan_equals_event_by_event(param_counts, num_workers, iterations,
+                                                     policy, checkpoint_every, prefix_cap,
+                                                     fabric_policy):
+    """The acceptance property: memoization changes wall-clock, never results.
+
+    Every field of the scheduler result — makespan, per-job records,
+    per-resource byte audits, checkpoint/restore bytes — must be exactly
+    equal between the memoized and the event-by-event engines, across
+    policies, disciplines, freezing schedules and checkpoint cadences.
+    """
+    def run(memoize):
+        cluster = Cluster(ClusterSpec(num_machines=3, gpus_per_machine=2,
+                                      fabric_policy=fabric_policy))
+        scheduler = ClusterScheduler(cluster, engine=EventDrivenEngine(cluster, memoize=memoize))
+        prefix = (lambda i: min(i // 2, prefix_cap)) if prefix_cap else 0
+        scheduler.submit(SimJob("a", make_cost_model(param_counts), num_workers=num_workers,
+                                iterations=iterations, policy=policy, frozen_prefix=prefix,
+                                cached_fp=bool(prefix_cap), checkpoint_every=checkpoint_every))
+        scheduler.submit(SimJob("b", make_cost_model(param_counts[::-1]), num_workers=2,
+                                iterations=max(1, iterations // 2)))
+        return result_dict(scheduler.run())
+
+    assert run(True) == run(False)
+
+
+# --------------------------------------------------------------------------- #
+# Counters surface through scenarios, and trainer-backed jobs stay bit-exact
+# --------------------------------------------------------------------------- #
+class TestIntegration:
+    SCENARIO = {
+        "cluster": {"num_machines": 2, "gpus_per_machine": 2},
+        "jobs": [
+            {"name": "a", "modules": [4000, 8000, 6000], "batch_size": 16,
+             "num_workers": 2, "iterations": 8, "checkpoint_every": 4},
+        ],
+    }
+
+    def test_scenario_report_carries_perf_counters(self):
+        report = run_scenario(self.SCENARIO)
+        perf = report["perf"]
+        assert perf["iterations_fast_forwarded"] > 0
+        assert 0.0 < perf["cache_hit_rate"] <= 1.0
+        assert perf["events_processed"] > 0
+
+    def test_scenario_memoize_flag_disables_cache_with_identical_results(self):
+        plain = run_scenario(self.SCENARIO)
+        reference = run_scenario(dict(self.SCENARIO, memoize=False))
+        assert reference["perf"]["iterations_fast_forwarded"] == 0
+        for key in ("makespan", "jobs", "resources", "utilization"):
+            assert plain[key] == reference[key]
+
+    def _trainer(self):
+        full = make_dataset("synthetic_cifar10", num_samples=48, num_classes=4,
+                            image_size=8, noise=0.8, seed=0)
+        train_ds, _eval_ds = full.split(eval_fraction=0.25)
+        train_loader = DataLoader(train_ds, batch_size=8, seed=0)
+        model = models.resnet8(num_classes=4, width=0.5, seed=0)
+        optimizer = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+        return VanillaTrainer(model, ClassificationTask(), train_loader, None, optimizer)
+
+    def test_trainer_job_bit_identical_under_memoization(self):
+        """A real trainer inside the scheduler: same makespan, same real
+        content-addressed checkpoint bytes, with and without fast-forward."""
+        def run(memoize):
+            trainer = self._trainer()
+            manager = CheckpointManager(MemoryBackend())
+            trainer.configure_checkpointing(manager, checkpoint_every=1)
+            job = TrainerJob("t", trainer, iterations=8, num_workers=2, checkpoint_every=3)
+            cluster = paper_testbed_cluster()
+            scheduler = ClusterScheduler(cluster,
+                                         engine=EventDrivenEngine(cluster, memoize=memoize))
+            scheduler.submit(job)
+            return scheduler.run()
+
+        memoized, reference = run(True), run(False)
+        assert result_dict(memoized) == result_dict(reference)
+        assert memoized.jobs["t"].checkpoint_bytes_written == \
+            reference.jobs["t"].checkpoint_bytes_written > 0
+        assert memoized.perf["iterations_fast_forwarded"] > 0

@@ -4,7 +4,7 @@ Four families of guarantees:
 
 * **Unit behaviour** — FIFO serialization, cancellation with re-flow of
   queued successors, fair-share (processor-sharing) semantics, name/policy
-  validation, the ``comm_scale`` deprecation shim, async checkpoint overlap.
+  validation, removal of the ``comm_scale`` shim, async checkpoint overlap.
 * **Hypothesis properties** — byte conservation (resource traffic equals the
   sum of per-job traffic), makespan monotone non-increasing in bandwidth,
   fair-share makespan never exceeding FIFO on identical workloads, and the
@@ -300,6 +300,80 @@ class TestFairShareTimeline:
         assert timeline.busy_until == 12.0
 
 
+# --------------------------------------------------------------------------- #
+# Weighted fair share: capacity split proportional to per-transfer weight
+# --------------------------------------------------------------------------- #
+class TestWeightedFairShare:
+    def _timeline(self):
+        return FairShareTimeline(
+            SharedResource("f", bandwidth_gbps=8.0, kind="link", policy="fair"))
+
+    def test_capacity_splits_proportionally_to_weight(self):
+        """Two equal demands, weights 2:1 — the classic GPS schedule.
+
+        Until the heavy transfer drains it holds 2/3 of the line rate, so it
+        completes its 3 capacity-seconds at t=4.5; the light transfer has
+        1.5 left by then and finishes alone at t=6.
+        """
+        timeline = self._timeline()
+        assert timeline.reserve(0.0, 3.0, job="heavy", weight=2.0) == (0.0, 3.0)
+        assert timeline.reserve(0.0, 3.0, job="light", weight=1.0) == (0.0, 6.0)
+        assert [(r.job, r.start, r.end) for r in timeline.records] == \
+            [("heavy", 0.0, 4.5), ("light", 0.0, 6.0)]
+
+    def test_default_weight_matches_legacy_even_split(self):
+        explicit, implicit = self._timeline(), self._timeline()
+        for t in (explicit, implicit):
+            kwargs = {"weight": 1.0} if t is explicit else {}
+            t.reserve(0.0, 2.0, num_bytes=10, job="a", **kwargs)
+            t.reserve(0.0, 2.0, num_bytes=10, job="b", **kwargs)
+            t.reserve(1.0, 4.0, num_bytes=10, job="c", **kwargs)
+        assert explicit.records == implicit.records
+
+    def test_sole_transfer_runs_at_full_rate_regardless_of_weight(self):
+        timeline = self._timeline()
+        # Work conservation: weight only matters relative to *other* active
+        # transfers; a lone one always gets the whole resource.
+        assert timeline.reserve(0.0, 2.0, job="a", weight=0.25) == (0.0, 2.0)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            self._timeline().reserve(0.0, 1.0, weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            SimJob("a", make_cost_model(), weight=-1.0)
+
+    def test_fifo_ignores_weight(self):
+        weighted = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        plain = ResourceTimeline(SharedResource("s", bandwidth_gbps=1.0))
+        weighted.reserve(0.0, 2.0, job="a", weight=5.0)
+        weighted.reserve(0.0, 2.0, job="b", weight=0.1)
+        plain.reserve(0.0, 2.0, job="a")
+        plain.reserve(0.0, 2.0, job="b")
+        assert weighted.records == plain.records
+
+    def test_weighted_job_completes_faster_on_fair_fabric(self):
+        """SimJob.weight plumbs end to end: a weight-4 job's buckets drain
+        faster than its weight-1 competitor's on a fair-share fabric."""
+        heavy_modules = (400_000, 800_000, 600_000)
+
+        def run(weight_a):
+            cluster = Cluster(ClusterSpec(num_machines=4, gpus_per_machine=2,
+                                          nic_gbps=1.0, tor_uplink_gbps=1.0,
+                                          fabric_policy="fair"))
+            scheduler = ClusterScheduler(cluster, placement="round_robin")
+            scheduler.submit(SimJob("a", make_cost_model(heavy_modules, batch_size=4),
+                                    num_workers=4, iterations=6, weight=weight_a))
+            scheduler.submit(SimJob("b", make_cost_model(heavy_modules, batch_size=4),
+                                    num_workers=4, iterations=6))
+            return scheduler.run()
+
+        even, skewed = run(1.0), run(4.0)
+        assert skewed.jobs["a"].completion_seconds < even.jobs["a"].completion_seconds
+        # Weights redistribute capacity, never bytes.
+        assert {n: r["total_bytes"] for n, r in skewed.resources.items()} == \
+            {n: r["total_bytes"] for n, r in even.resources.items()}
+
+
 @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
                           st.integers(min_value=1, max_value=10**9)),
                 min_size=1, max_size=20))
@@ -515,7 +589,7 @@ def test_no_contention_single_job_within_5pct_of_closed_form(param_counts, raw_p
 
 
 # --------------------------------------------------------------------------- #
-# Engine integration: shared links and the comm_scale shim
+# Engine integration: shared links (the comm_scale shim is gone)
 # --------------------------------------------------------------------------- #
 class TestEngineSharedResources:
     def test_fabric_routing_without_contention_is_identical(self):
@@ -547,26 +621,18 @@ class TestEngineSharedResources:
         with pytest.raises(KeyError, match="unknown resource"):
             engine.storage_transfer(10, 0.0, "warp-store")
 
-    def test_comm_scale_deprecation_shim(self):
+    def test_comm_scale_shim_is_gone(self):
+        """The deprecated fair-share multiplier was removed, not just hidden.
+
+        Cross-job contention is modelled exclusively with shared resources;
+        passing the old knob must fail loudly instead of silently scaling.
+        """
+        with pytest.raises(TypeError):
+            EventDrivenEngine(comm_scale=2.0)
         engine = EventDrivenEngine()
-        with pytest.warns(DeprecationWarning, match="comm_scale is deprecated"):
-            engine.comm_scale = 2.0
-        # The shim maps scale k onto an equivalent link at bandwidth/k: every
-        # per-byte cost exactly doubles.
-        assert engine.transfer_seconds(1000, seconds_per_byte=1e-9) == pytest.approx(2e-6)
-        with pytest.warns(DeprecationWarning):
-            EventDrivenEngine(comm_scale=3.0)
-        with pytest.raises(ValueError):
-            engine.comm_scale = 0.0
-
-    def test_default_comm_scale_does_not_warn(self):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            engine = EventDrivenEngine()
-            engine.comm_scale = 1.0
-        assert engine.comm_scale == 1.0
+        assert not hasattr(type(engine), "comm_scale")
+        # Per-byte pricing is unscaled: exactly bytes * seconds_per_byte.
+        assert engine.transfer_seconds(1000, seconds_per_byte=1e-9) == pytest.approx(1e-6)
 
 
 # --------------------------------------------------------------------------- #
