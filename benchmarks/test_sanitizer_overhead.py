@@ -1,0 +1,88 @@
+"""Overhead budget of SimSan on the Table 1 event-backend stream.
+
+The CI acceptance criterion for the sanitizer: running the memoized Table 1
+iteration stream with ``REPRO_SIMSAN``-style checking enabled must cost at
+most 2x the unsanitized wall-clock, while staying bit-identical and still
+performing real work (reserve audits and fast-forward spot checks).
+"""
+
+import time
+
+from conftest import print_rows
+from repro.core import parse_layer_modules
+from repro.experiments import build_workload
+from repro.sim import CostModel, EventDrivenEngine
+
+#: A representative subset of the Table 1 workloads (full set lives in
+#: benchmarks/test_fast_forward.py; the overhead ratio is per-iteration and
+#: does not depend on how many workloads we average over).
+_WORKLOADS = ("resnet56_cifar10", "mobilenet_v2_cifar10", "bert_squad")
+_ITERATIONS = 1500
+_FREEZE_EVERY = 300
+
+#: CI overhead budget: sanitized wall-clock / plain wall-clock.
+_MAX_OVERHEAD = 2.0
+
+
+def _table1_cost_model(name):
+    workload = build_workload(name, scale="small", seed=0)
+    modules = parse_layer_modules(workload.make_model())
+    return CostModel(modules, batch_size=workload.batch_size)
+
+
+def _replay_table1_stream(engine, cost_model):
+    num_modules = len(cost_model.layer_modules)
+    totals = []
+    for iteration in range(_ITERATIONS):
+        prefix = min(iteration // _FREEZE_EVERY, max(num_modules - 1, 0))
+        result = engine.simulate_iteration(
+            cost_model, frozen_prefix=prefix, cached_fp=prefix > 0,
+            include_reference_overhead=True, comm_seconds_per_byte=1e-10)
+        totals.append(result.as_dict())
+    return totals
+
+
+def test_table1_sanitizer_overhead(benchmark):
+    """Sanitized Table 1 stream: <= 2x overhead, bit-identical output."""
+    cost_models = {name: _table1_cost_model(name) for name in _WORKLOADS}
+    rows = []
+
+    def run_all():
+        plain_seconds = sanitized_seconds = 0.0
+        for name, cost_model in cost_models.items():
+            # Best-of-3 per configuration: the streams are only tens of
+            # milliseconds, so a single stray scheduler tick would dominate
+            # the ratio.
+            plain_best = sanitized_best = float("inf")
+            for _ in range(3):
+                plain_engine = EventDrivenEngine()
+                start = time.perf_counter()
+                plain = _replay_table1_stream(plain_engine, cost_model)
+                plain_best = min(plain_best, time.perf_counter() - start)
+
+                sanitized_engine = EventDrivenEngine(sanitize=True)
+                start = time.perf_counter()
+                sanitized = _replay_table1_stream(sanitized_engine, cost_model)
+                sanitized_best = min(sanitized_best, time.perf_counter() - start)
+            plain_seconds += plain_best
+            sanitized_seconds += sanitized_best
+
+            assert sanitized == plain, f"{name}: sanitizer perturbed the simulation"
+            sanitizer = sanitized_engine.sanitizer
+            rows.append({
+                "workload": name,
+                "iterations": _ITERATIONS,
+                "checks": sanitizer.checks_performed,
+                "spot_checks": sanitizer.spot_checks_performed,
+            })
+            assert sanitizer.checks_performed > 0
+            assert sanitizer.spot_checks_performed > 0
+        return plain_seconds, sanitized_seconds
+
+    plain_seconds, sanitized_seconds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    overhead = sanitized_seconds / plain_seconds
+    print_rows("Table 1 SimSan overhead (bit-identical)", rows)
+    print(f"\nplain {plain_seconds:.3f}s vs sanitized {sanitized_seconds:.3f}s "
+          f"-> {overhead:.2f}x (budget {_MAX_OVERHEAD:.1f}x)")
+    assert overhead <= _MAX_OVERHEAD, (
+        f"sanitizer overhead {overhead:.2f}x exceeds the {_MAX_OVERHEAD:.1f}x budget")

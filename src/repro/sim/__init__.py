@@ -32,6 +32,14 @@ result table.
 
 The closed-form path is validated against the engine to within 5% on the
 single-job configurations (see ``EventDrivenEngine.closed_form_deviation``).
+
+Correctness tooling (``docs/correctness.md``): SimLint (``tools/simlint``)
+statically forbids determinism-breaking code patterns, and SimSan
+(:class:`SimSanitizer`, enabled via ``EventDrivenEngine(sanitize=True)`` or
+``REPRO_SIMSAN=1``) checks the engine's runtime invariants — causality,
+non-negative durations, monotone ``busy_until``, byte and fair-share rate
+conservation, fast-forward/live agreement — raising :class:`SanitizerError`
+with event provenance when one breaks.
 """
 
 from .allreduce import AllReduceModel
@@ -47,8 +55,19 @@ from .resources import (
     SharedResource,
     build_timeline,
 )
+from .sanitizer import (
+    ByteConservationViolation,
+    CausalityViolation,
+    FastForwardDivergence,
+    MonotonicityViolation,
+    NegativeDurationViolation,
+    RateConservationViolation,
+    SanitizerError,
+    SimSanitizer,
+)
 from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
+from .simtime import TIME_EPS, time_geq, time_leq, times_close
 from .sweep import build_cells, expand_grid, run_sweep
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
 from .trainer_job import TrainerJob
@@ -88,4 +107,16 @@ __all__ = [
     "build_cells",
     "expand_grid",
     "run_sweep",
+    "SimSanitizer",
+    "SanitizerError",
+    "CausalityViolation",
+    "NegativeDurationViolation",
+    "MonotonicityViolation",
+    "ByteConservationViolation",
+    "RateConservationViolation",
+    "FastForwardDivergence",
+    "TIME_EPS",
+    "times_close",
+    "time_leq",
+    "time_geq",
 ]

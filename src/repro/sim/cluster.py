@@ -229,7 +229,7 @@ class Cluster:
         machines = {w.machine for w in workers if isinstance(w, GPUDevice)}
         if len(machines) <= 1:
             return []
-        tors = sorted({self.tor_index(machine) for machine in machines})
+        tors = sorted({self.tor_index(machine) for machine in sorted(machines)})
         links = [self.tor_link_name(tor) for tor in tors]
         if len(tors) > 1:
             links.append(self.CORE)

@@ -62,6 +62,7 @@ closed-form path usable as a validated fast mode.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -70,6 +71,7 @@ from .allreduce import AllReduceModel
 from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
 from .resources import BaseResourceTimeline, ResourcePool, SharedResource
+from .sanitizer import SimSanitizer, sanitize_from_env
 from .timeline import SchedulePolicy
 
 __all__ = ["SimEvent", "EventQueue", "EngineIterationResult", "EventDrivenEngine"]
@@ -212,16 +214,28 @@ class EventDrivenEngine:
         it off every iteration is simulated event by event — the reference
         path the equality tests and the fast-forward microbenchmark compare
         against.
+    sanitize:
+        Enables SimSan (:mod:`repro.sim.sanitizer`): runtime invariant
+        checks on every event, reservation and cancellation, plus periodic
+        fast-forward/live divergence spot checks.  ``None`` (the default)
+        defers to the ``REPRO_SIMSAN`` environment variable, which is how
+        CI runs the whole tier-1 suite sanitized.  Sanitized runs produce
+        bit-identical results and perf counters.
     """
 
     def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
-                 memoize: bool = True):
+                 memoize: bool = True, sanitize: Optional[bool] = None):
         """Bind the engine to a cluster's topology and shared resources."""
         self.cluster = cluster
         self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
         #: Shared-resource timelines (links + storage); populated from the
         #: cluster's named resources, extendable with :meth:`add_resource`.
         self.resources = ResourcePool(cluster.resources.values() if cluster is not None else None)
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        #: The attached runtime sanitizer, or ``None`` for a plain run.
+        self.sanitizer: Optional[SimSanitizer] = SimSanitizer() if sanitize else None
+        self.resources.attach_sanitizer(self.sanitizer)
         #: Per-GPU relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
         #: straggler whose compute segments take twice as long).
         self.gpu_speed: Dict[str, float] = {}
@@ -509,6 +523,11 @@ class EventDrivenEngine:
             )
             entry = self._cache.get(key)
             if entry is not None and all(t.busy_until <= start_time for t in link_timelines):
+                if self.sanitizer is not None and self.sanitizer.should_spot_check():
+                    self._spot_check(entry, cost_model, worker_list, names, frozen_prefix,
+                                     cached_fp, policy, include_reference_overhead,
+                                     comm_seconds_per_byte, start_time, link_timelines,
+                                     job_name, job_weight)
                 return self._fast_forward(entry, names, start_time, link_timelines,
                                           job_name, job_weight)
 
@@ -554,6 +573,37 @@ class EventDrivenEngine:
                                                kind="allreduce", weight=job_weight)
         return self._materialize(entry, names, start_time)
 
+    def _spot_check(self, entry: _FastForwardEntry, cost_model: CostModel,
+                    worker_list: List[WorkerLike], names: List[str], frozen_prefix: int,
+                    cached_fp: bool, policy: str, include_reference_overhead: bool,
+                    comm_seconds_per_byte: Optional[float], start_time: float,
+                    link_timelines: List[BaseResourceTimeline], job_name: Optional[str],
+                    job_weight: float) -> None:
+        """Re-simulate a memoized replay live on shadow state and compare.
+
+        The live run uses deep-copied timelines (with the sanitizer detached
+        so the shadow reservations don't feed the byte ledger) and the perf
+        counters are saved/restored, so a sanitized run's results and
+        counters stay bit-identical to a plain run's.  Raises
+        :class:`~repro.sim.sanitizer.FastForwardDivergence` on any field
+        mismatch between the cached entry and the live re-simulation.
+        """
+        saved_counters = (self.iterations_simulated, self.events_processed)
+        shadows: List[BaseResourceTimeline] = []
+        for timeline in link_timelines:
+            attached, timeline.sanitizer = timeline.sanitizer, None
+            try:
+                shadows.append(copy.deepcopy(timeline))
+            finally:
+                timeline.sanitizer = attached
+        live = self._simulate_live(cost_model, worker_list, names, frozen_prefix,
+                                   cached_fp, policy, include_reference_overhead,
+                                   comm_seconds_per_byte, start_time, None, shadows,
+                                   job_name, job_weight)
+        self.iterations_simulated, self.events_processed = saved_counters
+        self.sanitizer.check_fast_forward(entry, live, job=job_name,
+                                          start_time=start_time)
+
     def _simulate_live(self, cost_model: CostModel, worker_list: List[WorkerLike],
                        names: List[str], frozen_prefix: int, cached_fp: bool, policy: str,
                        include_reference_overhead: bool, comm_seconds_per_byte: Optional[float],
@@ -588,10 +638,20 @@ class EventDrivenEngine:
                 trace.append(SimEvent(start_time + event.time, event.seq, event.kind,
                                       event.payload))
 
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            # The live loop runs in relative time: each iteration re-anchors
+            # the engine's causality clock at 0.
+            sanitizer.reset_clock("engine", 0.0)
+            sanitizer.note("live_iteration", job=job_name, start_time=start_time)
+
         def start_segment(worker_pos: int, seg_index: int, now: float) -> None:
             name = names[worker_pos]
             phase, module_index, nominal = segments[seg_index]
             duration = nominal / self.speed_factor(name)
+            if sanitizer is not None:
+                sanitizer.check_duration(duration, f"{phase} segment of module "
+                                                   f"{module_index} on {name}")
             queue.push(now + duration, "segment_done", (worker_pos, seg_index))
 
         def start_next_bucket(now: float) -> None:
@@ -621,6 +681,7 @@ class EventDrivenEngine:
                                                             num_bytes=num_bytes, job=job_name,
                                                             kind="allreduce", weight=job_weight)
                     reservations.append((link_index, now, link_seconds, num_bytes))
+                    # simlint: disable=SIM004 -- bit-exact equality is the memoization contract: a window is steady-state (cacheable) only when the timeline reproduced the request verbatim, so tolerance would admit near-miss windows and break bit-identical fast-forward replay
                     if link_start == abs_request and link_end == abs_request + link_seconds:
                         end = max(end, now + link_seconds)
                     else:
@@ -641,6 +702,8 @@ class EventDrivenEngine:
             num_events += 1
             record(event)
             now = event.time
+            if sanitizer is not None:
+                sanitizer.check_event("engine", now, event.kind, job=job_name)
             if event.kind == "segment_done":
                 worker_pos, seg_index = event.payload
                 name = names[worker_pos]

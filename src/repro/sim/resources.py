@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cost_model import CostModel
+from .sanitizer import SimSanitizer
 
 __all__ = [
     "SharedResource",
@@ -171,6 +172,9 @@ class BaseResourceTimeline:
         self._records: List[ResourceOccupancy] = []
         self._busy_until = 0.0
         self._seq = 0
+        #: Optional :class:`~repro.sim.sanitizer.SimSanitizer` notified on
+        #: every reserve/cancel (attached by the pool; ``None`` = plain run).
+        self.sanitizer: Optional[SimSanitizer] = None
 
     @property
     def busy_until(self) -> float:
@@ -310,6 +314,9 @@ class ResourceTimeline(BaseResourceTimeline):
         self._insert(ResourceOccupancy(start, end, int(num_bytes), job, kind,
                                        earliest_start=earliest_start, seq=self._seq))
         self._seq += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_reserve(self, earliest_start, start, end, seconds,
+                                        num_bytes, job, kind)
         return start, end
 
     def cancel(self, job: str, after_time: float) -> int:
@@ -344,6 +351,8 @@ class ResourceTimeline(BaseResourceTimeline):
                 kept.append(record)
         if not cancelled:
             return 0
+        if self.sanitizer is not None:
+            self.sanitizer.note_cancel(self, job, after_time)
         started = [r for r in kept if r.start < after_time]
         queued = sorted((r for r in kept if r.start >= after_time),
                         key=lambda r: (r.start, r.seq))
@@ -360,6 +369,8 @@ class ResourceTimeline(BaseResourceTimeline):
                                            record.job, record.kind,
                                            earliest_start=record.earliest_start,
                                            seq=record.seq))
+        if self.sanitizer is not None:
+            self.sanitizer.note_cancelled(self)
         return cancelled
 
 
@@ -459,7 +470,11 @@ class FairShareTimeline(BaseResourceTimeline):
                 self._open = []
             self._open.append(transfer)
             self._sweep_open()
-        return transfer.arrival, self._ends[transfer.seq]
+        end = self._ends[transfer.seq]
+        if self.sanitizer is not None:
+            self.sanitizer.note_reserve(self, transfer.arrival, transfer.arrival, end,
+                                        seconds, num_bytes, job, kind)
+        return transfer.arrival, end
 
     def cancel(self, job: str, after_time: float) -> int:
         """Drop ``job``'s transfers arriving at or after ``after_time``.
@@ -475,8 +490,12 @@ class FairShareTimeline(BaseResourceTimeline):
                 if not (t.job == job and t.arrival >= after_time)]
         cancelled = len(self._transfers) - len(kept)
         if cancelled:
+            if self.sanitizer is not None:
+                self.sanitizer.note_cancel(self, job, after_time)
             self._transfers = kept
             self._resweep_all()
+            if self.sanitizer is not None:
+                self.sanitizer.note_cancelled(self)
         return cancelled
 
     def busy_seconds(self) -> float:
@@ -519,6 +538,17 @@ class FairShareTimeline(BaseResourceTimeline):
             "bytes_by_job": dict(sorted(self.bytes_by_job().items())),
             "bytes_by_kind": dict(sorted(self.bytes_by_kind().items())),
         }
+
+    def transfer_schedule(self) -> Tuple[Tuple[float, float, float, float], ...]:
+        """``(arrival, end, demand, weight)`` rows of the current schedule.
+
+        The sanitizer's rate-conservation audit consumes this: demand is in
+        capacity-seconds, so a feasible processor-sharing schedule never
+        completes more demand inside a window than the window's length.
+        """
+        return tuple(sorted(
+            (t.arrival, self._ends[t.seq], t.demand, t.weight)
+            for t in self._transfers))
 
     def _resweep_all(self) -> None:
         """Rebuild the schedule from scratch (cancel / out-of-order arrivals)."""
@@ -606,14 +636,25 @@ class ResourcePool:
     def __init__(self, resources: Optional[Iterable[SharedResource]] = None):
         """Build timelines for ``resources`` (policy-dispatched per resource)."""
         self._timelines: Dict[str, BaseResourceTimeline] = {}
+        self._sanitizer: Optional[SimSanitizer] = None
         for resource in resources or ():
             self.add(resource)
+
+    def attach_sanitizer(self, sanitizer: Optional[SimSanitizer]) -> None:
+        """Attach a sanitizer to every current and future timeline.
+
+        ``None`` detaches — the hook-free plain-run configuration.
+        """
+        self._sanitizer = sanitizer
+        for timeline in self._timelines.values():
+            timeline.sanitizer = sanitizer
 
     def add(self, resource: SharedResource) -> BaseResourceTimeline:
         """Register a resource under its (unique) name; returns its timeline."""
         if resource.name in self._timelines:
             raise ValueError(f"duplicate resource name {resource.name!r}")
         timeline = build_timeline(resource)
+        timeline.sanitizer = self._sanitizer
         self._timelines[resource.name] = timeline
         return timeline
 

@@ -59,6 +59,10 @@ resources (capacity split ∝ weight; default 1.0).  The top-level
 ``memoize`` flag (default ``true``) toggles the engine's steady-state
 fast-forward cache — results are bit-identical either way (the equality the
 fast-forward test suite asserts); turning it off only makes the run slower.
+The top-level ``sanitize`` flag attaches SimSan, the runtime invariant
+sanitizer (:mod:`repro.sim.sanitizer`); omitted, it defers to the
+``REPRO_SIMSAN`` environment variable.  Sanitized results are bit-identical
+to plain ones.
 """
 
 from __future__ import annotations
@@ -84,7 +88,7 @@ _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers"
              "storage", "link", "async_checkpoint", "weight"}
 _SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
                   "gpu_speeds", "failures", "resizes", "preemptions", "resumes",
-                  "memoize"}
+                  "memoize", "sanitize"}
 
 
 def _check_keys(mapping: Dict, allowed: set, where: str) -> None:
@@ -144,7 +148,9 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
             resource_spec.setdefault("policy", default_policy)
         cluster.add_resource(SharedResource(**resource_spec))
 
-    engine = EventDrivenEngine(cluster, memoize=bool(spec.get("memoize", True)))
+    sanitize = spec.get("sanitize")
+    engine = EventDrivenEngine(cluster, memoize=bool(spec.get("memoize", True)),
+                               sanitize=None if sanitize is None else bool(sanitize))
     scheduler = ClusterScheduler(cluster, engine=engine,
                                  placement=str(spec.get("placement", "fifo")),
                                  seed=int(spec.get("seed", 0)))

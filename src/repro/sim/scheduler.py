@@ -321,10 +321,12 @@ class ClusterScheduler:
         self._iter_token: Dict[str, int] = {}
         #: Fault-tolerance state: GPUs currently down, preempted jobs
         #: awaiting resume, and jobs that must pay a checkpoint-restore read
-        #: before their next iteration.
-        self._failed_gpus: set = set()
-        self._paused: set = set()
-        self._needs_restore: set = set()
+        #: before their next iteration.  Insertion-ordered dicts used as
+        #: ordered sets (value always None) so any future iteration over
+        #: them is deterministic regardless of PYTHONHASHSEED (SIM003).
+        self._failed_gpus: Dict[str, None] = {}
+        self._paused: Dict[str, None] = {}
+        self._needs_restore: Dict[str, None] = {}
         #: Per-job placement generation; bumped whenever the job is taken off
         #: its GPUs so in-flight async checkpoint completions from the old
         #: placement are recognised as stale.
@@ -495,7 +497,7 @@ class ClusterScheduler:
                 # Restore reads the *full* state (frozen prefix included) back
                 # from the shared storage resource before training continues —
                 # queueing behind any other job's in-flight transfers.
-                self._needs_restore.discard(job.name)
+                self._needs_restore.pop(job.name, None)
                 restore_bytes = job.restore_read_bytes(
                     record.iterations_done, job.prefix_at(record.iterations_done))
                 delay = self._storage_seconds(job, restore_bytes, now, gpus, kind="restore")
@@ -535,7 +537,7 @@ class ClusterScheduler:
             record.samples_processed = record.samples_at_checkpoint if rollback_to > 0 else 0.0
             job.rollback(rollback_to)
         if rollback_to > 0:
-            self._needs_restore.add(job_name)
+            self._needs_restore[job_name] = None
         record.worker_names = []
         return workers
 
@@ -634,10 +636,19 @@ class ClusterScheduler:
         self.trace.append(entry)
 
     def run(self) -> SchedulerResult:
-        """Drain all events; returns per-job records, utilization and trace."""
+        """Drain all events; returns per-job records, utilization and trace.
+
+        With the engine's sanitizer attached, every dequeued event is
+        causality-checked against the scheduler's absolute clock and the
+        resource pool is audited (bytes, windows, fair-share rates) once the
+        heap drains.
+        """
         makespan = 0.0
+        sanitizer = self.engine.sanitizer
         while self._heap:
             now, _seq, kind, payload = heapq.heappop(self._heap)
+            if sanitizer is not None:
+                sanitizer.check_event("scheduler", now, kind)
             if kind in ("arrival", "iteration_done", "ckpt_done"):
                 # Knob events (set_speed/resize) may be timestamped past the
                 # last completed work; they do not extend the makespan.
@@ -699,6 +710,8 @@ class ClusterScheduler:
             elif kind == "resume":
                 (job_name,) = payload
                 self._apply_resume(job_name, now)
+        if sanitizer is not None:
+            sanitizer.verify_pool(self.engine.resources)
         return SchedulerResult(makespan=makespan, jobs=dict(self.records),
                                gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace),
                                resources=self.engine.resources.summary(),
@@ -798,7 +811,7 @@ class ClusterScheduler:
     # Fault tolerance: failures, recovery, preemption
     # ------------------------------------------------------------------ #
     def _apply_gpu_failure(self, gpu_name: str, now: float) -> None:
-        self._failed_gpus.add(gpu_name)
+        self._failed_gpus[gpu_name] = None
         self._free.pop(gpu_name, None)
         self._trace(now, "gpu_failure", gpu=gpu_name)
         victims = [name for name, gpus in self._allocations.items()
@@ -817,7 +830,7 @@ class ClusterScheduler:
         if gpu_name not in self._failed_gpus:
             self._trace(now, "gpu_recover_ignored", gpu=gpu_name)
             return
-        self._failed_gpus.discard(gpu_name)
+        self._failed_gpus.pop(gpu_name, None)
         gpu = next(g for g in self._all_gpus if g.name == gpu_name)
         self._free[gpu_name] = gpu
         self._trace(now, "gpu_recovered", gpu=gpu_name)
@@ -830,7 +843,7 @@ class ClusterScheduler:
             return
         record.preemptions += 1
         self._deschedule(job_name, now)
-        self._paused.add(job_name)
+        self._paused[job_name] = None
         self._trace(now, "job_preempted", job=job_name,
                     restart_iteration=record.iterations_done)
         self._try_place(now)
@@ -839,7 +852,7 @@ class ClusterScheduler:
         if job_name not in self._paused:
             self._trace(now, "resume_ignored", job=job_name)
             return
-        self._paused.discard(job_name)
+        self._paused.pop(job_name, None)
         self._pending.append(job_name)
         self._trace(now, "job_resumed", job=job_name)
         self._try_place(now)

@@ -26,7 +26,7 @@ results — the property the trainer-backed benchmark asserts.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .scheduler import SimJob
 from .timeline import SchedulePolicy
@@ -53,7 +53,7 @@ class TrainerJob(SimJob):
         estimate and cannot roll the live trainer back.
     """
 
-    def __init__(self, name: str, trainer, iterations: int, num_workers: int = 1,
+    def __init__(self, name: str, trainer: Any, iterations: int, num_workers: int = 1,
                  policy: str = SchedulePolicy.VANILLA, arrival_time: float = 0.0,
                  checkpoint_every: Optional[int] = None, storage: Optional[str] = None,
                  link: Optional[str] = None, async_checkpoint: bool = False,

@@ -1,0 +1,32 @@
+"""SIM002 fixture: unseeded module-global randomness (applies to all files)."""
+
+import random
+
+import numpy as np
+
+
+def _bad_draw() -> float:
+    """Positive case: the process-global random stream."""
+    return random.random()
+
+
+def _bad_numpy_draw():
+    """Positive case: numpy's legacy global generator."""
+    return np.random.rand(3)
+
+
+def _tolerated_shuffle(items) -> None:
+    """Suppressed case: order is re-sorted immediately afterwards."""
+    random.shuffle(items)  # simlint: disable=SIM002 -- fixture: order discarded by the caller
+    items.sort()
+
+
+def _good_draw(seed: int) -> float:
+    """Clean case: an explicitly seeded private generator."""
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def _good_numpy_draw(seed: int):
+    """Clean case: numpy Generator with an explicit seed."""
+    return np.random.default_rng(seed).random()

@@ -1,0 +1,34 @@
+"""SIM005 fixture: mutable default arguments (applies to all files)."""
+
+from typing import List, Optional
+
+
+def _bad_list_default(item: str, acc=[]) -> List[str]:
+    """Positive case: shared list default."""
+    acc.append(item)
+    return acc
+
+
+def _bad_dict_default(key: str, table={}) -> dict:
+    """Positive case: shared dict default."""
+    table[key] = True
+    return table
+
+
+def _bad_kwonly_default(*, cache=set()) -> set:
+    """Positive case: keyword-only mutable default."""
+    return cache
+
+
+# simlint: disable=SIM005 -- fixture: deliberately shared module-level registry
+def _tolerated_default(item: str, registry={"sentinel": True}) -> dict:
+    """Suppressed case: the standalone comment above covers the def line."""
+    return registry
+
+
+def _good_default(item: str, acc: Optional[List[str]] = None) -> List[str]:
+    """Clean case: None sentinel, allocate inside."""
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

@@ -1,0 +1,46 @@
+"""SIM006 fixture: annotation/docstring coverage of sim-core public API.
+
+# simlint: sim-core
+"""
+
+
+def bad_undocumented(value):
+    return value
+
+
+def bad_unannotated(value) -> int:
+    """Documented, but the parameter and nothing else is annotated."""
+    return int(value)
+
+
+class BadWidget:
+    """A public class whose public method is bare."""
+
+    def poke(self, times):
+        return times
+
+
+# simlint: disable=SIM006 -- fixture: generated shim kept signature-compatible with upstream
+def tolerated_shim(payload):
+    return payload
+
+
+def good_function(value: int) -> int:
+    """Clean case: documented and fully annotated."""
+    return value + 1
+
+
+class GoodWidget:
+    """Clean case: documented class with annotated methods."""
+
+    def __init__(self, size: int):
+        """Store the size."""
+        self.size = size
+
+    def poke(self, times: int) -> int:
+        """Return the poke count."""
+        return times
+
+
+def _private_helper(x):
+    return x

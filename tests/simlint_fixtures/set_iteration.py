@@ -1,0 +1,53 @@
+"""SIM003 fixture: hash-ordered iteration hazards in the simulator core.
+
+# simlint: sim-core
+"""
+
+from typing import Dict, List, Set
+
+
+def _bad_literal_iteration() -> List[str]:
+    """Positive case: iterating a set literal."""
+    out = []
+    for name in {"a", "b", "c"}:
+        out.append(name)
+    return out
+
+
+def _bad_symbol_iteration() -> List[str]:
+    """Positive cases: set-typed local iterated and materialised."""
+    pending = set(["x", "y"])
+    collected = [item for item in pending]
+    return collected + list(pending)
+
+
+class _BadState:
+    """Positive case: a set-typed field declaration."""
+
+    waiting: Set[str]
+
+    def __init__(self) -> None:
+        """Initialise empty."""
+        self.waiting = set()
+
+
+def _tolerated_iteration(names) -> int:
+    """Suppressed case: aggregation is order-insensitive."""
+    unique = set(names)
+    total = 0
+    # simlint: disable=SIM003 -- fixture: summation is commutative, order cannot leak
+    for name in unique:
+        total += len(name)
+    return total
+
+
+def _good_iteration(pending: Set[str]) -> List[str]:
+    """Clean case: sorted() pins the order before iterating."""
+    return [name for name in sorted(pending)]
+
+
+def _good_ordered_field() -> Dict[str, None]:
+    """Clean case: the insertion-ordered Dict[key, None] idiom."""
+    ordered: Dict[str, None] = {}
+    ordered["a"] = None
+    return ordered

@@ -1,0 +1,30 @@
+"""SIM004 fixture: float equality on simulated timestamps.
+
+# simlint: sim-core
+"""
+
+
+def _bad_compare(start_time: float, end_time: float) -> bool:
+    """Positive case: exact == between two timestamps."""
+    return start_time == end_time
+
+
+def _bad_not_equal(arrival: float, deadline: float) -> bool:
+    """Positive case: != is the same hazard."""
+    return arrival != deadline
+
+
+def _tolerated_compare(cached_start: float, start_time: float) -> bool:
+    """Suppressed case: bit-exact replay contract."""
+    # simlint: disable=SIM004 -- fixture: memoization requires verbatim equality
+    return cached_start == start_time
+
+
+def _good_compare(start_time: float, end_time: float, eps: float) -> bool:
+    """Clean case: tolerance-based comparison."""
+    return abs(start_time - end_time) <= eps
+
+
+def _good_non_time(count: int, limit: int) -> bool:
+    """Clean case: equality on non-time values is fine."""
+    return count == limit

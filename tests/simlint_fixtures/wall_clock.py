@@ -1,0 +1,27 @@
+"""SIM001 fixture: wall-clock reads inside the simulator core.
+
+# simlint: sim-core
+"""
+
+import time
+import datetime
+
+
+def _bad_stamp() -> float:
+    """Positive case: host wall clock leaks into simulated time."""
+    return time.time()
+
+
+def _bad_today() -> "datetime.date":
+    """Positive case: datetime wall clock."""
+    return datetime.date.today()
+
+
+def _profiled_section() -> float:
+    """Suppressed case: deliberate host-side profiling measurement."""
+    return time.perf_counter()  # simlint: disable=SIM001 -- host profiling fixture, not simulated time
+
+
+def _good_stamp(now: float) -> float:
+    """Clean case: simulated time arrives as a parameter."""
+    return now + 1.0

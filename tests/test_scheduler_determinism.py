@@ -1,0 +1,56 @@
+"""Hash-seed determinism regression test for the cluster scheduler (SIM003).
+
+The scheduler's fault-tolerance state (`_failed_gpus`, `_paused`,
+`_needs_restore`) used to be plain ``set`` s; any iteration over them made
+results depend on ``PYTHONHASHSEED``.  They are insertion-ordered dicts now,
+and this test pins the fix: the same failure/preemption-heavy scenario run
+in fresh interpreters under three different hash seeds must produce the
+byte-identical result, including the event trace.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: A scenario leaning on every converted field: GPU failures (with
+#: recovery), preemption/resume and checkpoint restores.
+_SCRIPT = """
+import json
+from repro.core.modules import LayerModule
+from repro.sim import ClusterScheduler, CostModel, SimJob, paper_testbed_cluster
+
+modules = [LayerModule(name=f"m{i}", paths=[], blocks=[], num_params=40_000, index=i)
+           for i in range(4)]
+cluster = paper_testbed_cluster()
+scheduler = ClusterScheduler(cluster)
+for name, arrival, workers in (("a", 0.0, 4), ("b", 1.0, 4), ("c", 2.0, 2)):
+    scheduler.submit(SimJob(name=name, cost_model=CostModel(modules, batch_size=32),
+                            num_workers=workers, iterations=8, checkpoint_every=2,
+                            arrival_time=arrival))
+gpus = [gpu.name for gpu in cluster.all_gpus()]
+scheduler.inject_failure(gpus[0], at_time=0.5, recover_at=3.0)
+scheduler.inject_failure(gpus[5], at_time=1.5)
+scheduler.preempt_job("b", at_time=2.0)
+scheduler.resume_job("b", at_time=4.0)
+result = scheduler.run()
+print(json.dumps(result.as_dict(), sort_keys=True))
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_scheduler_result_is_hash_seed_independent():
+    outputs = {seed: _run_with_hash_seed(seed) for seed in ("0", "1", "31337")}
+    reference = outputs["0"]
+    assert "makespan" in reference
+    for seed, output in outputs.items():
+        assert output == reference, f"PYTHONHASHSEED={seed} changed the result"

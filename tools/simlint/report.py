@@ -1,0 +1,101 @@
+"""Plain-data finding and suppression records shared by the rules and runner."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Valid rule ids a suppression may name; anything else means the marker
+#: text is not a real suppression (e.g. prose in a docstring quoting the
+#: syntax) and the comment is ignored entirely.
+_RULE_ID = re.compile(r"^SIM\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding with ``file:line:col`` provenance."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Stripped source text of the offending line — the baseline match key
+    #: (stable across unrelated line-number drift).
+    snippet: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: path + rule + offending source text."""
+        return (self.path, self.rule, self.snippet)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data view (the ``--format json`` output rows)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message, "snippet": self.snippet}
+
+    def render(self) -> str:
+        """Canonical one-line text rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# simlint: disable=...`` comment.
+
+    ``rules`` is the tuple of rule ids the comment disables; ``justified``
+    records whether the mandatory ``-- why`` text was present.  A
+    suppression applies to findings on its own line and, for a standalone
+    comment line, to the line directly below it.
+    """
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justified: bool
+    justification: str = ""
+    standalone: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this comment silences ``rule`` at ``line``."""
+        if rule not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data view (the ``--format json`` suppression rows)."""
+        return {"path": self.path, "line": self.line, "rules": list(self.rules),
+                "justified": self.justified, "justification": self.justification}
+
+
+def unexplained_finding(suppression: Suppression) -> Finding:
+    """The SIM000 finding an unjustified suppression comment turns into."""
+    return Finding(
+        path=suppression.path, line=suppression.line, col=0, rule="SIM000",
+        message=("suppression without justification: append ' -- <why>' to "
+                 f"# simlint: disable={','.join(suppression.rules)}"),
+        snippet="",
+    )
+
+
+def parse_suppression(path: str, line_number: int, text: str,
+                      standalone: bool) -> Optional[Suppression]:
+    """Parse one source line's ``# simlint: disable=...`` comment, if any."""
+    marker = "# simlint: disable="
+    position = text.find(marker)
+    if position < 0:
+        return None
+    rest = text[position + len(marker):]
+    if "--" in rest:
+        rule_part, _, justification = rest.partition("--")
+        justification = justification.strip()
+    else:
+        rule_part, justification = rest, ""
+    rules = tuple(token.strip() for token in rule_part.split(",") if token.strip())
+    if not rules or not all(_RULE_ID.match(rule) for rule in rules):
+        return None
+    return Suppression(path=path, line=line_number, rules=rules,
+                       justified=bool(justification), justification=justification,
+                       standalone=standalone)

@@ -1,0 +1,232 @@
+"""SimLint driver: file discovery, suppressions, baseline, and output.
+
+The runner walks the requested paths, runs every registered rule over each
+Python file, silences findings covered by justified inline suppressions or
+by the committed baseline, and renders the remainder as text or JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .report import Finding, Suppression, parse_suppression, unexplained_finding
+from .rules import ALL_RULES, ModuleAnalysis
+
+__all__ = ["LintResult", "lint_source", "lint_file", "lint_paths", "main"]
+
+#: Marker comment that opts a file outside ``repro/sim`` into the sim-core
+#: rules (how the lint fixtures exercise SIM001/SIM003/SIM004/SIM006).
+SIM_CORE_MARKER = "# simlint: sim-core"
+
+#: Default committed baseline, relative to this package.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: live findings plus bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: Findings silenced by an inline suppression (kept for reporting).
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings silenced by the committed baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        """Fold another (single-file) result into this one."""
+        self.findings.extend(other.findings)
+        self.suppressions.extend(other.suppressions)
+        self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
+        self.files_checked += other.files_checked
+
+    @property
+    def ok(self) -> bool:
+        """True when the run is clean (exit status 0)."""
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        """Plain-data view backing ``--format json``."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressions": [s.as_dict() for s in self.suppressions],
+        }
+
+
+def _is_sim_core(path: str, source: str) -> bool:
+    """Whether the sim-core-only rules apply to this file.
+
+    The opt-in marker must be a standalone comment line, so prose that
+    merely *mentions* the marker (this package's own docs) does not opt
+    a file in.
+    """
+    normalized = path.replace("\\", "/")
+    if "repro/sim" in normalized:
+        return True
+    return any(line.strip().startswith(SIM_CORE_MARKER)
+               for line in source.splitlines())
+
+
+def _collect_suppressions(path: str, lines: Sequence[str]) -> List[Suppression]:
+    """Every inline ``# simlint: disable=...`` comment in the file."""
+    suppressions = []
+    for number, text in enumerate(lines, start=1):
+        standalone = text.lstrip().startswith("#")
+        suppression = parse_suppression(path, number, text, standalone)
+        if suppression is not None:
+            suppressions.append(suppression)
+    return suppressions
+
+
+def lint_source(path: str, source: str,
+                baseline: Optional[Iterable[Tuple[str, str, str]]] = None) -> LintResult:
+    """Lint one file's source text; ``path`` is used for provenance only."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            path=path, line=exc.lineno or 1, col=exc.offset or 0,
+            rule="SIM999", message=f"file does not parse: {exc.msg}"))
+        return result
+
+    lines = tuple(source.splitlines())
+    sim_core = _is_sim_core(path, source)
+    analysis = ModuleAnalysis(tree)
+    raw: List[Finding] = []
+    for rule_class in ALL_RULES:
+        if rule_class.sim_core_only and not sim_core:
+            continue
+        rule_class(path, lines, analysis, raw).check(tree)
+    raw.sort(key=lambda f: (f.line, f.col, f.rule))
+
+    suppressions = _collect_suppressions(path, lines)
+    result.suppressions = suppressions
+    baseline_keys = set(baseline or ())
+
+    for finding in raw:
+        cover = next((s for s in suppressions
+                      if s.covers(finding.rule, finding.line)), None)
+        if cover is not None:
+            result.suppressed.append(finding)
+        elif finding.key() in baseline_keys:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    # A disable comment must explain itself: bare suppressions are findings.
+    for suppression in suppressions:
+        if not suppression.justified:
+            result.findings.append(unexplained_finding(suppression))
+    return result
+
+
+def lint_file(path: Path,
+              baseline: Optional[Iterable[Tuple[str, str, str]]] = None) -> LintResult:
+    """Lint one file on disk."""
+    rel = _display_path(path)
+    return lint_source(rel, path.read_text(encoding="utf-8"), baseline)
+
+
+def _display_path(path: Path) -> str:
+    """Stable, cwd-relative, forward-slash rendering used in keys/output."""
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd())
+    except ValueError:
+        rel = resolved
+    return rel.as_posix()
+
+
+def discover(paths: Sequence[Path]) -> List[Path]:
+    """All ``*.py`` files under ``paths``, sorted, skipping ``__pycache__``."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(p for p in sorted(path.rglob("*.py"))
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.append(path)
+    return sorted(set(found), key=lambda p: p.as_posix())
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """Read the committed baseline (list of ``[path, rule, snippet]`` keys)."""
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return [tuple(entry) for entry in entries]
+
+
+def lint_paths(paths: Sequence[Path],
+               baseline: Optional[Iterable[Tuple[str, str, str]]] = None) -> LintResult:
+    """Lint every Python file under ``paths`` into one aggregate result."""
+    total = LintResult()
+    for file_path in discover(paths):
+        total.extend(lint_file(file_path, baseline))
+    return total
+
+
+def _render_text(result: LintResult, stream) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    summary = (f"simlint: {len(result.findings)} finding(s) in "
+               f"{result.files_checked} file(s)")
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    print(summary, file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m tools.simlint``). Returns exit status."""
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="Determinism lint pass for the simulator core.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline with the current findings "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = "sim-core" if rule.sim_core_only else "all files"
+            print(f"{rule.id}  [{scope}]  {rule.title}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    result = lint_paths([Path(p) for p in args.paths], baseline)
+
+    if args.write_baseline:
+        keys = sorted({f.key() for f in result.findings + result.baselined})
+        args.baseline.write_text(
+            json.dumps([list(k) for k in keys], indent=2) + "\n", encoding="utf-8")
+        print(f"simlint: wrote {len(keys)} baseline entr(y/ies) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        _render_text(result, sys.stdout)
+    return 0 if result.ok else 1
