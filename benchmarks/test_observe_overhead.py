@@ -1,0 +1,97 @@
+"""Overhead budget of SimScope on a multi-job fault-injection scenario.
+
+The CI acceptance criterion for the observability layer: running a scenario
+with the full observer attached (tracer + metrics) must cost at most 1.3x
+the plain wall-clock, the constructed-but-disabled null sink at most 1.05x —
+while both stay bit-identical to the plain run and the full observer still
+records real data (spans, instants, metric series).
+"""
+
+import copy
+import json
+import time
+
+from conftest import print_rows
+from repro.sim import run_scenario
+
+_ITERATIONS = 150
+
+#: Two ToR-colocated jobs plus a cross-rack one, periodic checkpoints, one
+#: mid-run GPU failure with recovery and one preempt/resume cycle — enough
+#: event diversity to exercise every observer hook on the hot path.
+_SCENARIO = {
+    "cluster": {"num_machines": 4, "gpus_per_machine": 2, "num_tor_switches": 2,
+                "nic_gbps": 1.0, "tor_uplink_gbps": 1.0, "core_gbps": 0.5,
+                "per_tor_fabric": True},
+    "placement": "round_robin",
+    "jobs": [
+        {"name": "a", "modules": [400000, 800000, 600000], "batch_size": 4,
+         "num_workers": 4, "iterations": _ITERATIONS, "policy": "egeria",
+         "frozen_prefix": 1, "checkpoint_every": 25, "storage": "ckpt-store"},
+        {"name": "b", "modules": [500000, 500000, 500000], "batch_size": 4,
+         "num_workers": 4, "iterations": _ITERATIONS, "arrival_time": 0.5,
+         "checkpoint_every": 30, "storage": "ckpt-store"},
+    ],
+    "failures": [{"gpu": "node0:gpu0", "at_time": 3.0, "recover_at": 6.0}],
+    "preemptions": [{"job": "b", "at_time": 4.0}],
+    "resumes": [{"job": "b", "at_time": 7.0}],
+}
+
+#: CI overhead budgets: observed wall-clock / plain wall-clock.
+_MAX_TRACED_OVERHEAD = 1.30
+_MAX_NULL_SINK_OVERHEAD = 1.05
+
+
+def _run(observe):
+    """One scenario run with the given ``observe`` setting; returns the report."""
+    spec = copy.deepcopy(_SCENARIO)
+    if observe is not None:
+        spec["observe"] = observe
+    return run_scenario(spec)
+
+
+def _comparable(report):
+    """The report as a canonical JSON string, minus observer-only keys."""
+    stripped = {key: value for key, value in report.items() if key != "metrics"}
+    return json.dumps(stripped, sort_keys=True)
+
+
+def test_observe_overhead_and_transparency(benchmark):
+    """Traced run <= 1.3x plain, null sink <= 1.05x, both bit-identical."""
+
+    def run_all():
+        # Best-of-5 per configuration: a run is tens of milliseconds, so a
+        # single stray scheduler tick would dominate the ratios.
+        seconds = {"plain": float("inf"), "null": float("inf"), "traced": float("inf")}
+        reports = {}
+        for _ in range(5):
+            for label, observe in (("plain", None),
+                                   ("null", {"trace": False, "metrics": False}),
+                                   ("traced", True)):
+                start = time.perf_counter()
+                reports[label] = _run(observe)
+                seconds[label] = min(seconds[label], time.perf_counter() - start)
+        return seconds, reports
+
+    seconds, reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    assert _comparable(reports["null"]) == _comparable(reports["plain"]), \
+        "null-sink observer perturbed the simulation"
+    assert _comparable(reports["traced"]) == _comparable(reports["plain"]), \
+        "full observer perturbed the simulation"
+    # The full observer must have done real work, not short-circuited.
+    assert reports["traced"]["metrics"], "traced run recorded no metrics"
+    assert "metrics" not in reports["plain"]
+
+    null_overhead = seconds["null"] / seconds["plain"]
+    traced_overhead = seconds["traced"] / seconds["plain"]
+    print_rows("SimScope overhead (bit-identical)", [
+        {"config": label, "seconds": seconds[label],
+         "overhead": seconds[label] / seconds["plain"]}
+        for label in ("plain", "null", "traced")])
+    assert traced_overhead <= _MAX_TRACED_OVERHEAD, (
+        f"traced overhead {traced_overhead:.2f}x exceeds the "
+        f"{_MAX_TRACED_OVERHEAD:.2f}x budget")
+    assert null_overhead <= _MAX_NULL_SINK_OVERHEAD, (
+        f"null-sink overhead {null_overhead:.2f}x exceeds the "
+        f"{_MAX_NULL_SINK_OVERHEAD:.2f}x budget")

@@ -26,7 +26,17 @@ Four subcommands mirror the typical workflows:
     report as JSON (including the engine's fast-forward perf counters).
     ``--policy`` overrides the scheduling discipline (first-fit FIFO vs
     processor-sharing fair-share) of every resource the scenario does not
-    pin explicitly.
+    pin explicitly.  ``--trace-out trace.json`` additionally writes the
+    SimScope sim-time trace (Chrome ``trace_event`` JSON, one Perfetto
+    track per job and per resource) and ``--metrics-out metrics.json``
+    the metric time-series (utilization, queue depths, link throughput,
+    frozen fractions; CSV when the path ends in ``.csv``) — both without
+    perturbing the simulation (see ``docs/observability.md``).
+
+``python -m repro.cli sim profile scenario.json [--top 25] [--sort tottime]``
+    Run a scenario under ``cProfile`` and print the ranked hot functions
+    plus wall-clock throughput (events/s, iterations/s); ``--out`` writes
+    the machine-readable report for regression tracking.
 
 ``python -m repro.cli sim sweep sweep.json [--workers 4] [--out result.json]``
     Expand a sweep spec (base scenario + parameter grid, e.g. a
@@ -60,7 +70,7 @@ from .experiments import (
     format_rows,
     run_trainer,
 )
-from .sim import run_scenario, run_sweep
+from .sim import profile_scenario, run_scenario, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -120,11 +130,33 @@ def build_parser() -> argparse.ArgumentParser:
     sim_run = sim_sub.add_parser("run", help="replay a scenario JSON to a timeline/makespan report")
     sim_run.add_argument("scenario", help="path to the scenario JSON file")
     sim_run.add_argument("--out", default=None, help="write the report here instead of stdout")
-    sim_run.add_argument("--trace", action="store_true", help="include the full scheduler trace")
+    sim_run.add_argument("--trace", action="store_true",
+                         help="deprecated: embed the raw scheduler decision log in the "
+                              "report; prefer --trace-out, which writes the structured "
+                              "SimScope trace (Perfetto-viewable, one track per job "
+                              "and per resource)")
+    sim_run.add_argument("--trace-out", default=None, metavar="TRACE_JSON",
+                         help="write the sim-time Chrome trace_event JSON here "
+                              "(view at https://ui.perfetto.dev); implies observation")
+    sim_run.add_argument("--metrics-out", default=None, metavar="METRICS_FILE",
+                         help="write the full metric time-series here (JSON, or CSV "
+                              "when the path ends in .csv); implies observation")
     sim_run.add_argument("--policy", default=None, choices=["fifo", "fair"],
                          help="override the scheduling discipline of every shared resource "
                               "the scenario does not pin explicitly (fifo: first-fit "
                               "serialization, fair: processor sharing)")
+    sim_profile = sim_sub.add_parser(
+        "profile", help="run a scenario under cProfile and rank the hot functions")
+    sim_profile.add_argument("scenario", help="path to the scenario JSON file")
+    sim_profile.add_argument("--out", default=None,
+                             help="write the machine-readable report here instead of stdout")
+    sim_profile.add_argument("--top", type=int, default=25,
+                             help="number of hot functions to report (default 25)")
+    sim_profile.add_argument("--sort", default="cumulative",
+                             choices=["cumulative", "tottime", "calls"],
+                             help="ranking column (default cumulative)")
+    sim_profile.add_argument("--policy", default=None, choices=["fifo", "fair"],
+                             help="override the scheduling discipline, as for 'sim run'")
     sim_sweep = sim_sub.add_parser("sweep", help="run a scenario parameter grid across workers")
     sim_sweep.add_argument("sweep", help="path to the sweep JSON file (scenario + grid)")
     sim_sweep.add_argument("--workers", type=int, default=None,
@@ -247,13 +279,20 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
 def _cmd_sim(args: argparse.Namespace) -> int:
     if args.sim_command == "sweep":
         return _cmd_sim_sweep(args)
+    if args.sim_command == "profile":
+        return _cmd_sim_profile(args)
     try:
         report = run_scenario(args.scenario, include_trace=args.trace,
-                              default_policy=args.policy)
+                              default_policy=args.policy,
+                              trace_out=args.trace_out, metrics_out=args.metrics_out)
     except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.trace_out:
+        print(f"wrote {args.trace_out} (open at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
@@ -264,6 +303,32 @@ def _cmd_sim(args: argparse.Namespace) -> int:
               f"({perf.get('cache_hit_rate', 0.0):.0%} cache hit rate)")
     else:
         print(payload)
+    return 0
+
+
+def _cmd_sim_profile(args: argparse.Namespace) -> int:
+    try:
+        report = profile_scenario(args.scenario, top=args.top, sort=args.sort,
+                                  default_policy=args.policy)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    perf = report.get("perf", {})
+    print(f"{args.scenario}: {report['wall_seconds']:.3f}s wall, "
+          f"{report['events_per_second']:.0f} events/s, "
+          f"{report['iterations_per_second']:.0f} iterations/s, "
+          f"makespan {report['makespan']:.6f}s "
+          f"({perf.get('cache_hit_rate', 0.0):.0%} cache hit rate)")
+    print(f"\ntop {len(report['hot_functions'])} functions by {report['sort']}:")
+    print(f"{'calls':>9} {'tottime':>9} {'cumtime':>9}  function")
+    for row in report["hot_functions"]:
+        print(f"{row['calls']:>9} {row['tottime']:>9.4f} {row['cumtime']:>9.4f}  "
+              f"{row['function']}")
     return 0
 
 
@@ -280,7 +345,13 @@ def _cmd_sim_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}: {merged['num_cells']} cells")
         for row in merged["cells"]:
             params = ", ".join(f"{key}={value}" for key, value in row["params"].items())
-            print(f"  [{row['index']}] {params}: makespan {row['makespan']:.6f}s")
+            # Per-cell engine perf counters are sim-derived, so this summary
+            # is identical no matter how many workers ran the sweep.
+            perf = row.get("perf", {})
+            print(f"  [{row['index']}] {params}: makespan {row['makespan']:.6f}s, "
+                  f"{perf.get('events_processed', 0)} events, "
+                  f"{perf.get('iterations_fast_forwarded', 0)} fast-forwarded "
+                  f"({perf.get('cache_hit_rate', 0.0):.0%} cache hit rate)")
     else:
         print(payload)
     return 0

@@ -40,6 +40,14 @@ statically forbids determinism-breaking code patterns, and SimSan
 non-negative durations, monotone ``busy_until``, byte and fair-share rate
 conservation, fast-forward/live agreement — raising :class:`SanitizerError`
 with event provenance when one breaks.
+
+Observability (``docs/observability.md``): SimScope (:mod:`repro.sim.observe`,
+enabled per scenario via ``"observe": true`` or the ``repro sim run
+--trace-out/--metrics-out`` flags) attaches a :class:`SimObserver` that
+records a structured sim-time trace (Chrome ``trace_event`` JSON for
+Perfetto) and metric timelines (:class:`MetricsRegistry`) without perturbing
+the simulation, and :func:`profile_scenario` (``repro sim profile``) ranks
+the simulator's own hot functions under ``cProfile``.
 """
 
 from .allreduce import AllReduceModel
@@ -64,6 +72,15 @@ from .sanitizer import (
     RateConservationViolation,
     SanitizerError,
     SimSanitizer,
+)
+from .observe import (
+    MetricSeries,
+    MetricsRegistry,
+    SimObserver,
+    Tracer,
+    check_metrics,
+    check_trace,
+    profile_scenario,
 )
 from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
@@ -115,6 +132,13 @@ __all__ = [
     "ByteConservationViolation",
     "RateConservationViolation",
     "FastForwardDivergence",
+    "SimObserver",
+    "Tracer",
+    "MetricSeries",
+    "MetricsRegistry",
+    "check_trace",
+    "check_metrics",
+    "profile_scenario",
     "TIME_EPS",
     "times_close",
     "time_leq",

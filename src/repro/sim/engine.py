@@ -65,7 +65,7 @@ from __future__ import annotations
 import copy
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from .allreduce import AllReduceModel
 from .cluster import Cluster, GPUDevice
@@ -73,6 +73,9 @@ from .cost_model import CostModel
 from .resources import BaseResourceTimeline, ResourcePool, SharedResource
 from .sanitizer import SimSanitizer, sanitize_from_env
 from .timeline import SchedulePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - observers are attached, never imported here
+    from .observe.observer import SimObserver
 
 __all__ = ["SimEvent", "EventQueue", "EngineIterationResult", "EventDrivenEngine"]
 
@@ -221,10 +224,19 @@ class EventDrivenEngine:
         defers to the ``REPRO_SIMSAN`` environment variable, which is how
         CI runs the whole tier-1 suite sanitized.  Sanitized runs produce
         bit-identical results and perf counters.
+    observe:
+        Attaches a SimScope :class:`~repro.sim.observe.observer.SimObserver`
+        (:mod:`repro.sim.observe`): sim-time iteration spans (live vs
+        fast-forwarded replay) for the tracer, iteration/frozen-fraction
+        metrics, and — via the shared :class:`ResourcePool` — per-resource
+        queue-depth/wait sampling.  ``None`` (the default) is the null
+        sink: every hook site is a single ``is None`` check.  Observed runs
+        produce bit-identical results and perf counters.
     """
 
     def __init__(self, cluster: Optional[Cluster] = None, allreduce: Optional[AllReduceModel] = None,
-                 memoize: bool = True, sanitize: Optional[bool] = None):
+                 memoize: bool = True, sanitize: Optional[bool] = None,
+                 observe: Optional["SimObserver"] = None):
         """Bind the engine to a cluster's topology and shared resources."""
         self.cluster = cluster
         self.allreduce = allreduce or (AllReduceModel(cluster) if cluster is not None else None)
@@ -236,6 +248,9 @@ class EventDrivenEngine:
         #: The attached runtime sanitizer, or ``None`` for a plain run.
         self.sanitizer: Optional[SimSanitizer] = SimSanitizer() if sanitize else None
         self.resources.attach_sanitizer(self.sanitizer)
+        #: The attached SimScope observer, or ``None`` for an unobserved run.
+        self.observer: Optional["SimObserver"] = observe
+        self.resources.attach_observer(self.observer)
         #: Per-GPU relative speed (1.0 = nominal; 0.5 = half speed, i.e. a
         #: straggler whose compute segments take twice as long).
         self.gpu_speed: Dict[str, float] = {}
@@ -528,15 +543,22 @@ class EventDrivenEngine:
                                      cached_fp, policy, include_reference_overhead,
                                      comm_seconds_per_byte, start_time, link_timelines,
                                      job_name, job_weight)
-                return self._fast_forward(entry, names, start_time, link_timelines,
-                                          job_name, job_weight)
+                result = self._fast_forward(entry, names, start_time, link_timelines,
+                                            job_name, job_weight)
+                if self.observer is not None:
+                    self.observer.note_iteration(job_name, result, "replay",
+                                                 frozen_prefix, num_modules)
+                return result
 
         entry = self._simulate_live(cost_model, worker_list, names, frozen_prefix, cached_fp,
                                     policy, include_reference_overhead, comm_seconds_per_byte,
                                     start_time, trace, link_timelines, job_name, job_weight)
         if key is not None and entry.cacheable:
             self._cache[key] = entry
-        return self._materialize(entry, names, start_time)
+        result = self._materialize(entry, names, start_time)
+        if self.observer is not None:
+            self.observer.note_iteration(job_name, result, "live", frozen_prefix, num_modules)
+        return result
 
     def _materialize(self, entry: _FastForwardEntry, names: List[str],
                      start_time: float) -> EngineIterationResult:
@@ -581,21 +603,24 @@ class EventDrivenEngine:
                     job_weight: float) -> None:
         """Re-simulate a memoized replay live on shadow state and compare.
 
-        The live run uses deep-copied timelines (with the sanitizer detached
-        so the shadow reservations don't feed the byte ledger) and the perf
-        counters are saved/restored, so a sanitized run's results and
-        counters stay bit-identical to a plain run's.  Raises
-        :class:`~repro.sim.sanitizer.FastForwardDivergence` on any field
-        mismatch between the cached entry and the live re-simulation.
+        The live run uses deep-copied timelines (with the sanitizer and
+        observer detached so the shadow reservations feed neither the byte
+        ledger nor the metrics) and the perf counters are saved/restored, so
+        a sanitized run's results and counters stay bit-identical to a plain
+        run's.  Raises :class:`~repro.sim.sanitizer.FastForwardDivergence`
+        on any field mismatch between the cached entry and the live
+        re-simulation.
         """
         saved_counters = (self.iterations_simulated, self.events_processed)
         shadows: List[BaseResourceTimeline] = []
         for timeline in link_timelines:
             attached, timeline.sanitizer = timeline.sanitizer, None
+            watching, timeline.observer = timeline.observer, None
             try:
                 shadows.append(copy.deepcopy(timeline))
             finally:
                 timeline.sanitizer = attached
+                timeline.observer = watching
         live = self._simulate_live(cost_model, worker_list, names, frozen_prefix,
                                    cached_fp, policy, include_reference_overhead,
                                    comm_seconds_per_byte, start_time, None, shadows,

@@ -1,0 +1,198 @@
+"""Validators for exported SimScope traces and metrics.
+
+:func:`check_trace` enforces the Chrome ``trace_event`` schema invariants the
+tracer guarantees (complete events, track metadata, per-track sim-time
+monotonicity, nest-or-disjoint job spans); :func:`check_metrics` enforces the
+metrics export's shape, counter monotonicity and — given the run report —
+the byte-conservation law: per-resource traced byte totals equal the
+resource-timeline audit exactly.
+
+Both return a list of human-readable problem strings (empty = valid), which
+is what the test suite asserts on and what ``tools/check_trace.py`` — the CI
+``trace-smoke`` gate — prints and exits non-zero on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["check_trace", "check_metrics"]
+
+#: Event phases the tracer emits.
+_PHASES = ("X", "i", "M")
+
+#: Metric kinds the registry emits.
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _is_number(value: object) -> bool:
+    """Whether ``value`` is a plain (non-bool) int or float."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_nesting(track: Tuple[int, int], spans: List[Tuple[float, float, str]],
+                   problems: List[str]) -> None:
+    """Assert the track's spans nest or are disjoint (never partially overlap).
+
+    Spans are checked in ``(start, -end)`` order with a containment stack —
+    the property that makes a job track render as clean nested slices in
+    Perfetto.  Only job-category tracks are checked (fair-share resource
+    windows overlap arbitrarily by design).  Boundaries get a nanosecond of
+    slack: adjacent spans whose shared boundary rounded differently through
+    the microsecond rendering (1 ulp of a float µs timestamp) are adjacent,
+    not overlapping.
+    """
+    stack: List[Tuple[float, float, str]] = []
+    for start, end, name in sorted(spans, key=lambda item: (item[0], -item[1])):
+        slack = 1e-9 * max(1.0, abs(start), abs(end))
+        while stack and stack[-1][1] <= start + slack:
+            stack.pop()
+        if stack and end > stack[-1][1] + slack:
+            problems.append(
+                f"track {track}: span {name!r} [{start}, {end}] partially overlaps "
+                f"{stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}]")
+        stack.append((start, end, name))
+
+
+def check_trace(trace: Dict[str, object]) -> List[str]:
+    """Validate a Chrome trace object; returns problem strings (empty = valid).
+
+    Checks: the ``traceEvents`` envelope; required fields per phase (every
+    event has ``name``/``ph``/``pid``/``tid``, timed events a numeric ``ts``,
+    complete events a non-negative ``dur``); ``process_name`` /
+    ``thread_name`` metadata for every track that recorded events; per-track
+    ``ts`` monotonicity in file order; and nest-or-disjoint spans on
+    job-category tracks.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no 'traceEvents' list"]
+    named_processes: Dict[int, str] = {}
+    named_threads: Dict[Tuple[int, int], str] = {}
+    last_ts: Dict[Tuple[int, int], float] = {}
+    spans_by_track: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    job_tracks: Dict[Tuple[int, int], bool] = {}
+    used_tracks: Dict[Tuple[int, int], bool] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"event {index}: missing name")
+        if phase not in _PHASES:
+            problems.append(f"event {index} ({name!r}): unknown phase {phase!r}")
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"event {index} ({name!r}): missing pid/tid")
+            continue
+        track = (pid, tid)
+        if phase == "M":
+            args = event.get("args")
+            label = args.get("name") if isinstance(args, dict) else None
+            if not isinstance(label, str):
+                problems.append(f"event {index}: metadata without args.name")
+            elif name == "process_name":
+                named_processes[pid] = label
+            elif name == "thread_name":
+                named_threads[track] = label
+            continue
+        used_tracks[track] = True
+        ts = event.get("ts")
+        if not _is_number(ts):
+            problems.append(f"event {index} ({name!r}): missing numeric ts")
+            continue
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous:
+            problems.append(
+                f"event {index} ({name!r}): ts {ts} goes backwards on track {track}"
+                f" (previous {previous})")
+        last_ts[track] = float(ts)
+        if phase == "X":
+            dur = event.get("dur")
+            if not _is_number(dur) or dur < 0:
+                problems.append(f"event {index} ({name!r}): complete event needs dur >= 0")
+                continue
+            spans_by_track.setdefault(track, []).append(
+                (float(ts), float(ts) + float(dur), str(name)))
+            if event.get("cat") == "job":
+                job_tracks[track] = True
+    for track in sorted(used_tracks):
+        if track[0] not in named_processes:
+            problems.append(f"track {track}: no process_name metadata for pid {track[0]}")
+        if track not in named_threads:
+            problems.append(f"track {track}: no thread_name metadata")
+    for track, spans in sorted(spans_by_track.items()):
+        if job_tracks.get(track):
+            _check_nesting(track, spans, problems)
+    return problems
+
+
+def check_metrics(metrics: Dict[str, object],
+                  result: Optional[Dict[str, object]] = None) -> List[str]:
+    """Validate a metrics export; returns problem strings (empty = valid).
+
+    Checks the ``{"metrics": {name: {kind, samples}}}`` envelope, numeric
+    ``[time, value]`` sample pairs, and counter monotonicity (cumulative
+    totals never decrease).  Given ``result`` — a scenario/scheduler report
+    with a ``"resources"`` summary — it additionally cross-checks byte
+    conservation: every resource that carried bytes has a
+    ``resource.bytes.<name>`` counter whose final total equals the
+    timeline's ``total_bytes`` audit exactly.
+    """
+    problems: List[str] = []
+    series_map = metrics.get("metrics")
+    if not isinstance(series_map, dict):
+        return ["export has no 'metrics' mapping"]
+    finals: Dict[str, float] = {}
+    for name in sorted(series_map):
+        series = series_map[name]
+        if not isinstance(series, dict):
+            problems.append(f"metric {name!r}: not an object")
+            continue
+        kind = series.get("kind")
+        if kind not in _KINDS:
+            problems.append(f"metric {name!r}: unknown kind {kind!r}")
+            continue
+        samples = series.get("samples")
+        if not isinstance(samples, list):
+            problems.append(f"metric {name!r}: missing samples list")
+            continue
+        previous_value: Optional[float] = None
+        for position, sample in enumerate(samples):
+            if (not isinstance(sample, list) or len(sample) != 2
+                    or not _is_number(sample[0]) or not _is_number(sample[1])):
+                problems.append(f"metric {name!r}: sample {position} is not [time, value]")
+                continue
+            value = float(sample[1])
+            if kind == "counter" and previous_value is not None and value < previous_value:
+                problems.append(
+                    f"metric {name!r}: counter decreases at sample {position}"
+                    f" ({previous_value} -> {value})")
+            previous_value = value
+        if samples and previous_value is not None:
+            finals[str(name)] = previous_value
+    if result is not None:
+        resources = result.get("resources")
+        if isinstance(resources, dict):
+            for resource_name in sorted(resources):
+                summary = resources[resource_name]
+                if not isinstance(summary, dict):
+                    continue
+                audited = summary.get("total_bytes")
+                if not _is_number(audited) or audited <= 0:
+                    continue
+                metric_name = f"resource.bytes.{resource_name}"
+                traced = finals.get(metric_name)
+                if traced is None:
+                    problems.append(
+                        f"resource {resource_name!r} carried {audited} bytes but "
+                        f"{metric_name!r} is absent")
+                elif int(traced) != int(audited):
+                    problems.append(
+                        f"{metric_name!r}: traced total {int(traced)} != audited "
+                        f"total {int(audited)}")
+    return problems

@@ -1,0 +1,161 @@
+"""Structured sim-time tracer exporting Chrome ``trace_event`` JSON.
+
+The tracer records **spans** (things with a duration: iteration execution,
+queue waits, per-link occupancy windows) and **instants** (point decisions:
+preemption, failure, checkpoint commit) against named *tracks*.  A track is a
+``(group, label)`` pair — e.g. ``("job", "a")`` or ``("resource", "fabric")``
+— rendered as one Chrome trace *thread* inside the group's *process*, so
+Perfetto (https://ui.perfetto.dev) shows one swim-lane per job and per shared
+resource with human-readable names from metadata events.
+
+Recording is deliberately cheap: hooks append compact tuples and all JSON
+rendering happens at export time (:meth:`Tracer.as_dict`), which is what
+keeps traced runs inside the ``docs/observability.md`` overhead budget.
+Export sorts events by track and sim time, so within any track timestamps
+are monotone — one of the schema invariants
+:func:`repro.sim.observe.checker.check_trace` enforces.
+
+Sim-time seconds are rendered as the format's canonical microseconds
+(``ts``/``dur``); the tracer never reads the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Tracer"]
+
+#: One recorded track identifier: ``(group, label)``.
+TrackKey = Tuple[str, str]
+
+#: Microseconds per simulated second (Chrome trace ``ts``/``dur`` unit).
+_MICROS = 1e6
+
+
+class Tracer:
+    """Collects sim-time spans and instants; exports Chrome ``trace_event`` JSON.
+
+    Tracks are interned on first use in a deterministic order (the simulator
+    is deterministic, so first-use order is too): each *group* becomes a
+    Chrome process id and each *label* a thread id within it, with
+    ``process_name``/``thread_name`` metadata events carrying the readable
+    names.  All recorded times are simulated seconds.
+    """
+
+    def __init__(self) -> None:
+        """Start with no tracks and no events."""
+        #: group -> pid (interned, 1-based, first-use order).
+        self._pids: Dict[str, int] = {}
+        #: (group, label) -> tid (interned, 1-based, first-use order per group).
+        self._tids: Dict[TrackKey, int] = {}
+        # Compact records; rendered to event dicts only at export time.
+        # span: (track, name, start, end, args); instant: (track, name, time, args)
+        self._spans: List[Tuple[TrackKey, str, float, float, Optional[Dict[str, object]]]] = []
+        self._instants: List[Tuple[TrackKey, str, float, Optional[Dict[str, object]]]] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, group: str, label: str, name: str, start: float, end: float,
+             args: Optional[Dict[str, object]] = None) -> None:
+        """Record a ``[start, end]`` sim-time span on track ``(group, label)``.
+
+        ``args`` (rendered verbatim into the event's ``args``) must be
+        JSON-plain; the tracer stores the reference and renders lazily, so
+        pass either a literal or a dict that will not be mutated afterwards.
+        """
+        self._spans.append(((group, label), name, float(start), float(end), args))
+
+    def instant(self, group: str, label: str, name: str, time: float,
+                args: Optional[Dict[str, object]] = None) -> None:
+        """Record a point event at ``time`` on track ``(group, label)``."""
+        self._instants.append(((group, label), name, float(time), args))
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def _track_ids(self, track: TrackKey) -> Tuple[int, int]:
+        """Intern ``track`` into its ``(pid, tid)`` pair."""
+        group = track[0]
+        pid = self._pids.get(group)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[group] = pid
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = sum(1 for key in self._tids if key[0] == group) + 1
+            self._tids[track] = tid
+        return pid, tid
+
+    def num_events(self) -> int:
+        """Number of recorded spans and instants (metadata excluded)."""
+        return len(self._spans) + len(self._instants)
+
+    def tracks(self) -> List[TrackKey]:
+        """Sorted ``(group, label)`` pairs of every track that recorded events."""
+        seen: Dict[TrackKey, None] = {}
+        for track, _name, _start, _end, _args in self._spans:
+            seen[track] = None
+        for track, _name, _time, _args in self._instants:
+            seen[track] = None
+        return sorted(seen)
+
+    def events(self) -> List[Dict[str, object]]:
+        """Render every recorded event as a Chrome ``trace_event`` dict.
+
+        Metadata (``process_name``/``thread_name``) events come first; span
+        (``ph="X"``) and instant (``ph="i"``) events follow sorted by
+        ``(pid, tid, ts, recording order)``, so sim time is monotone within
+        every track — the invariant the schema checker asserts.
+        """
+        keyed: List[Tuple[int, int, float, int, Dict[str, object]]] = []
+        order = 0
+        for track, name, start, end, args in self._spans:
+            pid, tid = self._track_ids(track)
+            event: Dict[str, object] = {
+                "name": name, "cat": track[0], "ph": "X",
+                # dur is the difference of the *rendered* endpoints, so
+                # ts + dur round-trips to the end the adjacent span starts
+                # at (up to 1 ulp; the checker allows a ns of slack).
+                "ts": start * _MICROS, "dur": end * _MICROS - start * _MICROS,
+                "pid": pid, "tid": tid,
+            }
+            if args is not None:
+                event["args"] = dict(args)
+            keyed.append((pid, tid, start, order, event))
+            order += 1
+        for track, name, time, args in self._instants:
+            pid, tid = self._track_ids(track)
+            event = {
+                "name": name, "cat": track[0], "ph": "i",
+                "ts": time * _MICROS, "pid": pid, "tid": tid, "s": "t",
+            }
+            if args is not None:
+                event["args"] = dict(args)
+            keyed.append((pid, tid, time, order, event))
+            order += 1
+
+        rendered: List[Dict[str, object]] = []
+        for group, pid in sorted(self._pids.items(), key=lambda item: item[1]):
+            rendered.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                             "args": {"name": group}})
+        for (group, label), tid in sorted(self._tids.items(),
+                                          key=lambda item: (self._pids[item[0][0]], item[1])):
+            rendered.append({"name": "thread_name", "ph": "M",
+                             "pid": self._pids[group], "tid": tid,
+                             "args": {"name": label}})
+        rendered.extend(event for _pid, _tid, _ts, _order, event
+                        in sorted(keyed, key=lambda item: item[:4]))
+        return rendered
+
+    def as_dict(self) -> Dict[str, object]:
+        """The full Chrome trace object (``traceEvents`` plus display unit)."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        """Write the trace as JSON to ``path`` (load it in Perfetto)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")

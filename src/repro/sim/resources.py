@@ -45,10 +45,13 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from .cost_model import CostModel
 from .sanitizer import SimSanitizer
+
+if TYPE_CHECKING:  # pragma: no cover - observers are attached, never imported here
+    from .observe.observer import SimObserver
 
 __all__ = [
     "SharedResource",
@@ -175,6 +178,10 @@ class BaseResourceTimeline:
         #: Optional :class:`~repro.sim.sanitizer.SimSanitizer` notified on
         #: every reserve/cancel (attached by the pool; ``None`` = plain run).
         self.sanitizer: Optional[SimSanitizer] = None
+        #: Optional :class:`~repro.sim.observe.observer.SimObserver` sampling
+        #: request-time queue depth and wait (attached by the pool; ``None``
+        #: = unobserved run, the zero-overhead default).
+        self.observer: Optional["SimObserver"] = None
 
     @property
     def busy_until(self) -> float:
@@ -309,6 +316,11 @@ class ResourceTimeline(BaseResourceTimeline):
         if seconds < 0:
             raise ValueError("cannot reserve a negative duration")
         earliest_start = float(earliest_start)
+        depth = 0
+        if self.observer is not None:
+            # Queue depth as seen by this request: committed windows that had
+            # not started by the requested time (sampled before insertion).
+            depth = len(self._records) - bisect.bisect_left(self._starts, earliest_start)
         start = self._first_fit(earliest_start, seconds)
         end = start + seconds
         self._insert(ResourceOccupancy(start, end, int(num_bytes), job, kind,
@@ -317,6 +329,9 @@ class ResourceTimeline(BaseResourceTimeline):
         if self.sanitizer is not None:
             self.sanitizer.note_reserve(self, earliest_start, start, end, seconds,
                                         num_bytes, job, kind)
+        if self.observer is not None:
+            self.observer.note_reserve(self, earliest_start, start, end,
+                                       int(num_bytes), job, kind, depth)
         return start, end
 
     def cancel(self, job: str, after_time: float) -> int:
@@ -474,6 +489,14 @@ class FairShareTimeline(BaseResourceTimeline):
         if self.sanitizer is not None:
             self.sanitizer.note_reserve(self, transfer.arrival, transfer.arrival, end,
                                         seconds, num_bytes, job, kind)
+        if self.observer is not None:
+            # Queue depth under processor sharing: transfers this arrival
+            # shares capacity with (still draining at its arrival instant).
+            depth = sum(1 for other in self._open
+                        if other.seq != transfer.seq
+                        and self._ends[other.seq] > transfer.arrival)
+            self.observer.note_reserve(self, transfer.arrival, transfer.arrival, end,
+                                       int(num_bytes), job, kind, depth)
         return transfer.arrival, end
 
     def cancel(self, job: str, after_time: float) -> int:
@@ -637,6 +660,7 @@ class ResourcePool:
         """Build timelines for ``resources`` (policy-dispatched per resource)."""
         self._timelines: Dict[str, BaseResourceTimeline] = {}
         self._sanitizer: Optional[SimSanitizer] = None
+        self._observer: Optional["SimObserver"] = None
         for resource in resources or ():
             self.add(resource)
 
@@ -649,12 +673,22 @@ class ResourcePool:
         for timeline in self._timelines.values():
             timeline.sanitizer = sanitizer
 
+    def attach_observer(self, observer: Optional["SimObserver"]) -> None:
+        """Attach an observer to every current and future timeline.
+
+        ``None`` detaches — the hook-free unobserved configuration.
+        """
+        self._observer = observer
+        for timeline in self._timelines.values():
+            timeline.observer = observer
+
     def add(self, resource: SharedResource) -> BaseResourceTimeline:
         """Register a resource under its (unique) name; returns its timeline."""
         if resource.name in self._timelines:
             raise ValueError(f"duplicate resource name {resource.name!r}")
         timeline = build_timeline(resource)
         timeline.sanitizer = self._sanitizer
+        timeline.observer = self._observer
         self._timelines[resource.name] = timeline
         return timeline
 

@@ -19,6 +19,7 @@ Scenario schema (all keys optional unless noted)::
       "placement": "fifo",
       "seed": 0,
       "memoize": true,
+      "observe": false,                     # or {"trace": true, "metrics": true}
       "jobs": [
         {"name": "a",                       # required, unique
          "workload": "resnet50_imagenet",   # cost model source ...
@@ -63,18 +64,28 @@ The top-level ``sanitize`` flag attaches SimSan, the runtime invariant
 sanitizer (:mod:`repro.sim.sanitizer`); omitted, it defers to the
 ``REPRO_SIMSAN`` environment variable.  Sanitized results are bit-identical
 to plain ones.
+
+The top-level ``observe`` key attaches SimScope (:mod:`repro.sim.observe`):
+``true`` enables the sim-time tracer and metrics registry, an object
+(``{"trace": ..., "metrics": ...}``) selects pillars individually.  Observed
+runs add a ``"metrics"`` summary to the report and are otherwise
+bit-identical to plain runs; ``repro sim run --trace-out/--metrics-out``
+export the full trace and time-series (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Union, TYPE_CHECKING
 
 from .cluster import Cluster, ClusterSpec
 from .cost_model import CostModel
 from .engine import EventDrivenEngine
 from .resources import SharedResource
 from .scheduler import ClusterScheduler, SimJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .observe import SimObserver
 
 __all__ = ["build_scenario", "run_scenario"]
 
@@ -88,7 +99,29 @@ _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers"
              "storage", "link", "async_checkpoint", "weight"}
 _SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
                   "gpu_speeds", "failures", "resizes", "preemptions", "resumes",
-                  "memoize", "sanitize"}
+                  "memoize", "sanitize", "observe"}
+_OBSERVE_KEYS = {"trace", "metrics"}
+
+
+def _build_observer(value: object) -> Optional["SimObserver"]:
+    """SimScope observer from the scenario's ``observe`` key.
+
+    ``None``/``false`` (the default) attaches nothing — the zero-overhead
+    plain run.  ``true`` attaches a full observer (tracer + metrics);
+    a ``{"trace": bool, "metrics": bool}`` object selects pillars
+    individually.  Observed runs are bit-identical to plain runs.
+    """
+    if value is None or value is False:
+        return None
+    from .observe import SimObserver  # lazy: only observed runs pay the import
+
+    if value is True:
+        return SimObserver()
+    if isinstance(value, dict):
+        _check_keys(value, _OBSERVE_KEYS, "observe")
+        return SimObserver(trace=bool(value.get("trace", True)),
+                           metrics=bool(value.get("metrics", True)))
+    raise ValueError(f"scenario 'observe' must be a bool or an object, got {value!r}")
 
 
 def _check_keys(mapping: Dict, allowed: set, where: str) -> None:
@@ -150,7 +183,8 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
 
     sanitize = spec.get("sanitize")
     engine = EventDrivenEngine(cluster, memoize=bool(spec.get("memoize", True)),
-                               sanitize=None if sanitize is None else bool(sanitize))
+                               sanitize=None if sanitize is None else bool(sanitize),
+                               observe=_build_observer(spec.get("observe")))
     scheduler = ClusterScheduler(cluster, engine=engine,
                                  placement=str(spec.get("placement", "fifo")),
                                  seed=int(spec.get("seed", 0)))
@@ -196,7 +230,9 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
 
 
 def run_scenario(scenario: Union[str, Dict], include_trace: bool = False,
-                 default_policy: Optional[str] = None) -> Dict[str, object]:
+                 default_policy: Optional[str] = None, observe: Optional[bool] = None,
+                 trace_out: Optional[str] = None,
+                 metrics_out: Optional[str] = None) -> Dict[str, object]:
     """Replay a scenario (dict or path to a JSON file) to plain-data results.
 
     The output is deterministic for a fixed scenario: makespan, per-job
@@ -205,12 +241,23 @@ def run_scenario(scenario: Union[str, Dict], include_trace: bool = False,
     forwards to :func:`build_scenario` (the CLI's ``--policy`` flag): it
     sets the scheduling discipline of every resource the scenario does not
     pin explicitly.
+
+    SimScope (:mod:`repro.sim.observe`): ``observe=True`` — or a truthy
+    scenario ``"observe"`` key — attaches an observer, adding a ``"metrics"``
+    summary to the output without changing any other field (observed runs
+    are bit-identical to plain runs).  ``trace_out`` writes the Chrome
+    ``trace_event`` JSON (view at https://ui.perfetto.dev) and
+    ``metrics_out`` the full metric time-series (JSON, or CSV when the path
+    ends in ``.csv``); either implies ``observe=True``.
     """
     if isinstance(scenario, str):
         with open(scenario, "r", encoding="utf-8") as handle:
             spec = json.load(handle)
     else:
         spec = dict(scenario)
+    if observe or trace_out is not None or metrics_out is not None:
+        if not spec.get("observe"):
+            spec["observe"] = True
     scheduler = build_scenario(spec, default_policy=default_policy)
     result = scheduler.run()
     output: Dict[str, object] = {
@@ -222,4 +269,13 @@ def run_scenario(scenario: Union[str, Dict], include_trace: bool = False,
     }
     if include_trace:
         output["trace"] = list(result.trace)
+    observer = scheduler.engine.observer
+    if observer is not None:
+        observer.finalize(scheduler.engine.resources)  # idempotent (run() finalized)
+        if observer.metrics is not None:
+            output["metrics"] = observer.metrics.summary()
+        if trace_out is not None and observer.tracer is not None:
+            observer.tracer.write(trace_out)
+        if metrics_out is not None and observer.metrics is not None:
+            observer.metrics.write(metrics_out)
     return output

@@ -62,12 +62,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
 from .engine import EventDrivenEngine
 from .timeline import SchedulePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..metrics.tracking import RunHistory
+    from .observe.observer import SimObserver
 
 __all__ = ["SimJob", "JobRecord", "SchedulerResult", "ClusterScheduler"]
 
@@ -139,8 +143,24 @@ class SimJob:
     # ------------------------------------------------------------------ #
     # Scheduler hooks (overridden by TrainerJob to run a real trainer)
     # ------------------------------------------------------------------ #
-    def begin_iteration(self, iteration: int) -> None:
-        """Called once right before iteration ``iteration`` is simulated."""
+    def begin_iteration(self, iteration: int, sim_time: float = 0.0) -> None:
+        """Called once right before iteration ``iteration`` is simulated.
+
+        ``sim_time`` is the simulated clock at the call — trainer-backed
+        jobs stamp it into their per-iteration history so loss curves can be
+        plotted against cluster time.
+        """
+
+    def run_history(self) -> Optional["RunHistory"]:
+        """Per-iteration training history to expose on the job's record.
+
+        The base (cost-model-only) job has no real training signal and
+        returns ``None``; :class:`~repro.sim.trainer_job.TrainerJob` returns
+        its live :class:`~repro.metrics.tracking.RunHistory` (loss and
+        frozen-fraction series).  The scheduler attaches the returned object
+        to :attr:`JobRecord.history` at submit time.
+        """
+        return None
 
     def iteration_profile(self, iteration: int) -> Tuple[int, bool, bool]:
         """``(frozen_prefix, cached_fp, include_reference_overhead)`` for pricing."""
@@ -189,6 +209,10 @@ class JobRecord:
     restore_bytes_read: int = 0
     preemptions: int = 0
     failures: int = 0
+    #: Live per-iteration training history (loss, frozen fraction) for
+    #: trainer-backed jobs; ``None`` for cost-model-only jobs, which keeps
+    #: their serialized records byte-identical to earlier revisions.
+    history: Optional["RunHistory"] = None
 
     @property
     def queueing_delay(self) -> Optional[float]:
@@ -210,7 +234,7 @@ class JobRecord:
 
     def as_dict(self) -> Dict[str, object]:
         """Deterministic plain-data view of the record."""
-        return {
+        view: Dict[str, object] = {
             "name": self.name,
             "arrival_time": self.arrival_time,
             "start_time": self.start_time,
@@ -233,6 +257,10 @@ class JobRecord:
             "preemptions": self.preemptions,
             "failures": self.failures,
         }
+        if self.history is not None:
+            view["loss_series"] = self.history.losses()
+            view["frozen_fraction_series"] = self.history.frozen_fractions()
+        return view
 
 
 @dataclass
@@ -334,6 +362,8 @@ class ClusterScheduler:
         self.records: Dict[str, JobRecord] = {}
         self.gpu_busy_seconds: Dict[str, float] = {gpu.name: 0.0 for gpu in self._all_gpus}
         self.trace: List[Dict[str, object]] = []
+        if self.engine.observer is not None:
+            self.engine.observer.note_cluster(len(self._all_gpus))
 
     # ------------------------------------------------------------------ #
     # Submission and scenario knobs
@@ -363,7 +393,8 @@ class ClusterScheduler:
         if job.link is not None:
             self.engine.resource_timeline(job.link)
         self._jobs[job.name] = job
-        self.records[job.name] = JobRecord(name=job.name, arrival_time=job.arrival_time)
+        self.records[job.name] = JobRecord(name=job.name, arrival_time=job.arrival_time,
+                                           history=job.run_history())
         self._push(job.arrival_time, "arrival", (job.name,))
 
     def _require_gpu(self, gpu_name: str) -> str:
@@ -586,7 +617,7 @@ class ClusterScheduler:
         iteration_index = record.iterations_done
         # Trainer-backed jobs run one *real* training iteration here; its
         # freezing decisions then price the simulated iteration.
-        job.begin_iteration(iteration_index)
+        job.begin_iteration(iteration_index, sim_time=now)
         prefix, cached_fp, include_reference = job.iteration_profile(iteration_index)
         result = self.engine.simulate_iteration(
             job.cost_model, workers=workers, frozen_prefix=prefix,
@@ -634,6 +665,11 @@ class ClusterScheduler:
         entry: Dict[str, object] = {"time": time, "kind": kind}
         entry.update(payload)
         self.trace.append(entry)
+        # Single instrumentation point: every scheduling decision reaches
+        # both the legacy decision log above and the SimScope observer.
+        observer = self.engine.observer
+        if observer is not None:
+            observer.scheduler_event(time, kind, entry)
 
     def run(self) -> SchedulerResult:
         """Drain all events; returns per-job records, utilization and trace.
@@ -712,6 +748,11 @@ class ClusterScheduler:
                 self._apply_resume(job_name, now)
         if sanitizer is not None:
             sanitizer.verify_pool(self.engine.resources)
+        if self.engine.observer is not None:
+            # Render committed occupancy (spans + byte counters) from the
+            # fully re-flowed timelines; idempotent, so callers that
+            # finalize again (e.g. run_scenario) are safe.
+            self.engine.observer.finalize(self.engine.resources)
         return SchedulerResult(makespan=makespan, jobs=dict(self.records),
                                gpu_busy_seconds=dict(self.gpu_busy_seconds), trace=list(self.trace),
                                resources=self.engine.resources.summary(),

@@ -138,12 +138,21 @@ def build_cells(sweep: Dict, base_dir: Optional[str] = None) -> List[Dict[str, o
 
 
 def _run_cell(cell: Dict[str, object]) -> Dict[str, object]:
-    """Run one cell's scenario to its merged-table row (must stay picklable)."""
+    """Run one cell's scenario to its merged-table row (must stay picklable).
+
+    When the base scenario (or a grid override) enables ``observe``, the
+    cell's SimScope metrics *summary* rides along as a ``"metrics"`` key —
+    compact per-metric statistics, not the full time-series, so the merged
+    table stays small.  Metrics are sim-time-derived and therefore identical
+    no matter how many workers ran the sweep.
+    """
     report = run_scenario(cell["scenario"])
     row: Dict[str, object] = {"index": cell["index"], "params": cell["params"],
                               "seed": cell["seed"]}
     for key in _CELL_RESULT_KEYS:
         row[key] = report[key]
+    if "metrics" in report:
+        row["metrics"] = report["metrics"]
     return row
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from ..metrics.tracking import EpochRecord, RunHistory
 from .scheduler import SimJob
 from .timeline import SchedulePolicy
 
@@ -71,6 +72,13 @@ class TrainerJob(SimJob):
         self.checkpoint_infos: List = []
         #: Frozen prefix in force during each executed iteration.
         self.prefix_series: List[int] = []
+        #: Per-iteration training history (one record per *executed*
+        #: iteration: loss, LR, frozen fraction, the simulated time the
+        #: iteration was scheduled at).  Attached to the scheduler's
+        #: :class:`~repro.sim.scheduler.JobRecord` via :meth:`run_history`
+        #: and rolled back alongside ``prefix_series``.
+        self.iteration_history = RunHistory(name=name, metric_name="train_loss",
+                                            higher_is_better=False)
         self._epoch = -1
         self._profile: Tuple[int, bool, bool] = (0, False, False)
 
@@ -94,14 +102,15 @@ class TrainerJob(SimJob):
             batch = trainer.train_loader.next_batch()
         return batch
 
-    def begin_iteration(self, iteration: int) -> None:
+    def begin_iteration(self, iteration: int, sim_time: float = 0.0) -> None:
         """Run one real training iteration and capture its pricing profile.
 
         The profile (frozen prefix, cached-FP mode, reference overhead) is
         read *before* the step: freezing decisions taken at the end of the
         step only affect subsequent iterations, matching the trainers' own
         accounting.  A re-schedule of an already-executed iteration (no-op
-        resize restarts) does not re-train.
+        resize restarts) does not re-train.  ``sim_time`` (the simulated
+        clock at scheduling) is stamped into the iteration's history record.
         """
         trainer = self.trainer
         if trainer.iteration > iteration:
@@ -114,6 +123,17 @@ class TrainerJob(SimJob):
         loss_value = trainer.train_one_iteration(batch)
         trainer._epoch_losses.append(loss_value)
         trainer.on_iteration_end(batch, loss_value)
+        num_modules = len(self.cost_model.layer_modules)
+        self.iteration_history.add(EpochRecord(
+            epoch=int(iteration), train_loss=float(loss_value), metric=float(loss_value),
+            simulated_time=float(sim_time), wall_time=0.0,
+            learning_rate=float(trainer.optimizer.lr),
+            frozen_fraction=(self._profile[0] / num_modules) if num_modules else 0.0,
+            cached_fp=bool(self._profile[1])))
+
+    def run_history(self) -> Optional[RunHistory]:
+        """The live per-iteration history (attached to the job's record)."""
+        return self.iteration_history
 
     def iteration_profile(self, iteration: int) -> Tuple[int, bool, bool]:
         """The pricing profile captured by :meth:`begin_iteration`."""
@@ -196,5 +216,9 @@ class TrainerJob(SimJob):
         trainer.restore(snapshot.checkpoint_id)
         self._seek(int(trainer.iteration))
         self.prefix_series = self.prefix_series[: int(trainer.iteration)]
+        # The rolled-back iterations will re-execute and re-record; trim
+        # their history exactly like the prefix series.
+        self.iteration_history.records = self.iteration_history.records[
+            : int(trainer.iteration)]
         self._profile = (trainer.frozen_prefix(), trainer.uses_cached_fp(),
                          trainer.include_reference_overhead())

@@ -179,6 +179,40 @@ class TestSimCommands:
         assert report["resources"]["tor1-uplink"]["total_bytes"] > 0
         assert report["resources"]["core"]["total_bytes"] == 0
 
+    def test_sim_run_trace_and_metrics_out(self, tmp_path, capsys):
+        from repro.sim import check_metrics, check_trace
+
+        scenario = self._write(tmp_path, self.SCENARIO)
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.json")
+        report_path = str(tmp_path / "report.json")
+        assert main(["sim", "run", scenario, "--out", report_path,
+                     "--trace-out", trace_path, "--metrics-out", metrics_path]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        trace = json.loads(open(trace_path).read())
+        metrics = json.loads(open(metrics_path).read())
+        report = json.loads(open(report_path).read())
+        assert check_trace(trace) == []
+        assert check_metrics(metrics, report) == []
+        assert report["metrics"]  # observation implied by the export flags
+
+    def test_sim_profile_prints_ranked_report(self, tmp_path, capsys):
+        scenario = self._write(tmp_path, self.SCENARIO)
+        out_path = str(tmp_path / "profile.json")
+        assert main(["sim", "profile", scenario, "--top", "5",
+                     "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "top 5 functions by cumulative" in out
+        report = json.loads(open(out_path).read())
+        assert report["events_per_second"] > 0
+        assert len(report["hot_functions"]) == 5
+
+    def test_sim_profile_rejects_bad_scenarios(self, tmp_path, capsys):
+        bad_key = dict(self.SCENARIO, warp=1)
+        assert main(["sim", "profile", self._write(tmp_path, bad_key)]) == 2
+        assert "unknown scenario keys" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list_runs(self, capsys):

@@ -155,7 +155,7 @@ class TestSchedulerCausality:
         scheduler = ClusterScheduler(cluster, engine=engine)
 
         class StaleEventJob(SimJob):
-            def begin_iteration(self, iteration):
+            def begin_iteration(self, iteration, sim_time=0.0):
                 if iteration == 1:
                     # A bug pushing an event at t=0 after the clock passed it.
                     heapq.heappush(scheduler._heap, (0.0, 10 ** 9, "arrival", ("ghost",)))

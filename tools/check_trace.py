@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""SimScope export gate: validate a trace and/or metrics file from the CLI.
+
+CI's ``trace-smoke`` job runs a fault-injection scenario with
+``repro sim run --trace-out/--metrics-out`` and feeds the exports through
+this script, which is a thin command-line wrapper around
+:func:`repro.sim.observe.check_trace` and
+:func:`repro.sim.observe.check_metrics`.  Every problem is printed, and the
+exit code is non-zero when any check fails — so a schema regression or a
+broken byte-conservation law fails the build instead of shipping a trace
+Perfetto cannot render.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace.py [--trace trace.json]
+        [--metrics metrics.json] [--report report.json]
+
+``--report`` (the ``repro sim run --out`` JSON) enables the byte
+conservation cross-check: every resource that carried bytes must have a
+``resource.bytes.<name>`` counter whose final total equals the timeline
+audit exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def _load(path: str) -> Dict[str, object]:
+    """Parse ``path`` as a JSON object."""
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return loaded
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate the given exports; print problems; return the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, help="SimScope trace JSON to validate")
+    parser.add_argument("--metrics", default=None, help="SimScope metrics JSON to validate")
+    parser.add_argument("--report", default=None,
+                        help="scenario report JSON (--out) enabling the byte "
+                             "conservation cross-check against --metrics")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.metrics is None:
+        parser.error("give at least one of --trace / --metrics")
+
+    from repro.sim.observe import check_metrics, check_trace
+
+    problems: List[str] = []
+    if args.trace is not None:
+        trace = _load(args.trace)
+        problems.extend(f"{args.trace}: {problem}" for problem in check_trace(trace))
+        num_events = len(trace.get("traceEvents") or [])
+        print(f"{args.trace}: {num_events} events checked")
+    if args.metrics is not None:
+        report = _load(args.report) if args.report is not None else None
+        metrics = _load(args.metrics)
+        problems.extend(f"{args.metrics}: {problem}"
+                        for problem in check_metrics(metrics, report))
+        num_series = len(metrics.get("metrics") or {})
+        print(f"{args.metrics}: {num_series} metric series checked"
+              + (" (byte conservation cross-checked)" if report is not None else ""))
+
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print("all SimScope export checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
