@@ -70,7 +70,7 @@ from .experiments import (
     format_rows,
     run_trainer,
 )
-from .sim import profile_scenario, run_scenario, run_sweep
+from .sim import diff_profiles, profile_scenario, run_scenario, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -130,11 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim_run = sim_sub.add_parser("run", help="replay a scenario JSON to a timeline/makespan report")
     sim_run.add_argument("scenario", help="path to the scenario JSON file")
     sim_run.add_argument("--out", default=None, help="write the report here instead of stdout")
-    sim_run.add_argument("--trace", action="store_true",
-                         help="deprecated: embed the raw scheduler decision log in the "
-                              "report; prefer --trace-out, which writes the structured "
-                              "SimScope trace (Perfetto-viewable, one track per job "
-                              "and per resource)")
+    # Removed flag, kept hidden so old invocations get a pointed error
+    # (instead of argparse's generic "unrecognized arguments") in _cmd_sim.
+    sim_run.add_argument("--trace", action="store_true", help=argparse.SUPPRESS)
     sim_run.add_argument("--trace-out", default=None, metavar="TRACE_JSON",
                          help="write the sim-time Chrome trace_event JSON here "
                               "(view at https://ui.perfetto.dev); implies observation")
@@ -155,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_profile.add_argument("--sort", default="cumulative",
                              choices=["cumulative", "tottime", "calls"],
                              help="ranking column (default cumulative)")
+    sim_profile.add_argument("--baseline", default=None, metavar="OLD_REPORT",
+                             help="diff against an earlier profile report (a --out file): "
+                                  "prints per-function regressions ranked by cumtime delta, "
+                                  "so before/after runs of an optimization are one command")
     sim_profile.add_argument("--policy", default=None, choices=["fifo", "fair"],
                              help="override the scheduling discipline, as for 'sim run'")
     sim_sweep = sim_sub.add_parser("sweep", help="run a scenario parameter grid across workers")
@@ -281,8 +283,13 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         return _cmd_sim_sweep(args)
     if args.sim_command == "profile":
         return _cmd_sim_profile(args)
+    if args.trace:
+        print("error: --trace was removed; use --trace-out TRACE_JSON to write the "
+              "structured SimScope trace (Perfetto-viewable, one track per job and "
+              "per resource)", file=sys.stderr)
+        return 2
     try:
-        report = run_scenario(args.scenario, include_trace=args.trace,
+        report = run_scenario(args.scenario,
                               default_policy=args.policy,
                               trace_out=args.trace_out, metrics_out=args.metrics_out)
     except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
@@ -313,6 +320,16 @@ def _cmd_sim_profile(args: argparse.Namespace) -> int:
     except (OSError, json.JSONDecodeError, KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    diff = None
+    if getattr(args, "baseline", None):
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            diff = diff_profiles(baseline, report)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report["baseline_diff"] = diff
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -329,6 +346,23 @@ def _cmd_sim_profile(args: argparse.Namespace) -> int:
     for row in report["hot_functions"]:
         print(f"{row['calls']:>9} {row['tottime']:>9.4f} {row['cumtime']:>9.4f}  "
               f"{row['function']}")
+    if diff is not None:
+        ratio = diff["wall_ratio"]
+        print(f"\nvs baseline {args.baseline}: wall {diff['baseline_wall_seconds']:.3f}s "
+              f"-> {diff['wall_seconds']:.3f}s "
+              f"({'n/a' if ratio is None else format(ratio, '.2f') + 'x'})")
+        regressions = [row for row in diff["functions"] if row["delta_cumtime"] > 0]
+        improvements = len(diff["functions"]) - len(regressions)
+        if regressions:
+            print(f"{len(regressions)} function(s) regressed "
+                  f"({improvements} improved or unchanged):")
+            print(f"{'Δcumtime':>9} {'Δtottime':>9} {'Δcalls':>9}  function")
+            for row in regressions[:args.top]:
+                print(f"{row['delta_cumtime']:>+9.4f} {row['delta_tottime']:>+9.4f} "
+                      f"{row['delta_calls']:>+9} {' ' if row['status'] == 'common' else '*'} "
+                      f"{row['function']}")
+        else:
+            print(f"no per-function regressions ({improvements} improved or unchanged)")
     return 0
 
 

@@ -80,12 +80,13 @@ from .observe import (
     Tracer,
     check_metrics,
     check_trace,
+    diff_profiles,
     profile_scenario,
 )
 from .scenario import build_scenario, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
 from .simtime import TIME_EPS, time_geq, time_leq, times_close
-from .sweep import build_cells, expand_grid, run_sweep
+from .sweep import build_cells, expand_grid, run_sweep, shutdown_pool
 from .timeline import IterationTimeline, SchedulePolicy, TimelineSimulator
 from .trainer_job import TrainerJob
 
@@ -124,6 +125,7 @@ __all__ = [
     "build_cells",
     "expand_grid",
     "run_sweep",
+    "shutdown_pool",
     "SimSanitizer",
     "SanitizerError",
     "CausalityViolation",
@@ -139,6 +141,7 @@ __all__ = [
     "check_trace",
     "check_metrics",
     "profile_scenario",
+    "diff_profiles",
     "TIME_EPS",
     "times_close",
     "time_leq",

@@ -262,6 +262,10 @@ class EventDrivenEngine:
         self.events_processed = 0
         self.iterations_simulated = 0
         self.iterations_fast_forwarded = 0
+        #: Batched fast-forward counters: committed batches and the replayed
+        #: iterations they covered (a subset of iterations_fast_forwarded).
+        self.fast_forward_batches = 0
+        self.iterations_batched = 0
 
     # ------------------------------------------------------------------ #
     # Scenario knobs
@@ -311,13 +315,19 @@ class EventDrivenEngine:
         none — that is the point).
         """
         total = self.iterations_simulated + self.iterations_fast_forwarded
-        return {
+        counters: Dict[str, object] = {
             "events_processed": self.events_processed,
             "iterations_simulated": self.iterations_simulated,
             "iterations_fast_forwarded": self.iterations_fast_forwarded,
             "cache_hit_rate": (self.iterations_fast_forwarded / total) if total else 0.0,
             "cache_entries": len(self._cache),
+            "fast_forward_batches": self.fast_forward_batches,
+            "iterations_batched": self.iterations_batched,
+            "mean_batch_size": ((self.iterations_batched / self.fast_forward_batches)
+                                if self.fast_forward_batches else 0.0),
         }
+        counters.update(self.resources.perf_counters())
+        return counters
 
     # ------------------------------------------------------------------ #
     # Segment construction
@@ -509,33 +519,13 @@ class EventDrivenEngine:
         worker_list = list(workers) if workers else list(names)
         num_modules = len(cost_model.layer_modules)
         frozen_prefix = max(0, min(frozen_prefix, num_modules))
-        if link_resource is None:
-            link_names: Tuple[str, ...] = ()
-            link_timelines: List[BaseResourceTimeline] = []
-        elif isinstance(link_resource, str):
-            link_names = (link_resource,)
-            link_timelines = [self.resource_timeline(link_resource)]
-        else:
-            link_names = tuple(link_resource)
-            link_timelines = [self.resource_timeline(name) for name in link_names]
+        link_names, link_timelines = self._resolve_links(link_resource)
 
         key: Optional[Tuple] = None
         if self.memoize and trace is None:
-            key = (
-                cost_model.fingerprint(),
-                tuple(names),
-                # Bare worker *names* price communication as zero while
-                # GPUDevice workers go through the all-reduce model — the
-                # same names must not share an entry across the two forms.
-                all(isinstance(w, GPUDevice) for w in worker_list),
-                tuple(self.gpu_speed.get(name, 1.0) for name in names),
-                frozen_prefix,
-                cached_fp,
-                policy,
-                include_reference_overhead,
-                comm_seconds_per_byte,
-                link_names,
-            )
+            key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
+                                  policy, include_reference_overhead, comm_seconds_per_byte,
+                                  link_names)
             entry = self._cache.get(key)
             if entry is not None and all(t.busy_until <= start_time for t in link_timelines):
                 if self.sanitizer is not None and self.sanitizer.should_spot_check():
@@ -559,6 +549,125 @@ class EventDrivenEngine:
         if self.observer is not None:
             self.observer.note_iteration(job_name, result, "live", frozen_prefix, num_modules)
         return result
+
+    def _resolve_links(self, link_resource: Optional[Union[str, Sequence[str]]]
+                       ) -> Tuple[Tuple[str, ...], List[BaseResourceTimeline]]:
+        """Normalize a link spec into (names, timelines) — ``None`` means private."""
+        if link_resource is None:
+            return (), []
+        if isinstance(link_resource, str):
+            return (link_resource,), [self.resource_timeline(link_resource)]
+        link_names = tuple(link_resource)
+        return link_names, [self.resource_timeline(name) for name in link_names]
+
+    def _cache_key(self, cost_model: CostModel, names: List[str],
+                   worker_list: List[WorkerLike], frozen_prefix: int, cached_fp: bool,
+                   policy: str, include_reference_overhead: bool,
+                   comm_seconds_per_byte: Optional[float],
+                   link_names: Tuple[str, ...]) -> Tuple:
+        """The complete dynamics state a memoized iteration is keyed on."""
+        return (
+            cost_model.fingerprint(),
+            tuple(names),
+            # Bare worker *names* price communication as zero while
+            # GPUDevice workers go through the all-reduce model — the
+            # same names must not share an entry across the two forms.
+            all(isinstance(w, GPUDevice) for w in worker_list),
+            tuple(self.gpu_speed.get(name, 1.0) for name in names),
+            frozen_prefix,
+            cached_fp,
+            policy,
+            include_reference_overhead,
+            comm_seconds_per_byte,
+            link_names,
+        )
+
+    def can_fast_forward(self, cost_model: CostModel,
+                         workers: Optional[Sequence[WorkerLike]] = None,
+                         frozen_prefix: int = 0, cached_fp: bool = False,
+                         policy: str = SchedulePolicy.VANILLA,
+                         include_reference_overhead: bool = False,
+                         comm_seconds_per_byte: Optional[float] = None,
+                         start_time: float = 0.0,
+                         link_resource: Optional[Union[str, Sequence[str]]] = None
+                         ) -> Optional[_FastForwardEntry]:
+        """The cached entry :meth:`simulate_iteration` would replay, or ``None``.
+
+        A non-``None`` return is the exact precondition for a fast-forward at
+        ``start_time``: memoization is on, the complete dynamics key has a
+        cached (cacheable) entry, and every crossed link is quiet at or after
+        ``start_time``.  Pure lookup — commits nothing and counts nothing —
+        so a scheduler can use it to plan a multi-iteration batch before
+        committing via :meth:`fast_forward_batch`.
+        """
+        if not self.memoize:
+            return None
+        names = self._worker_names(workers)
+        worker_list = list(workers) if workers else list(names)
+        num_modules = len(cost_model.layer_modules)
+        frozen_prefix = max(0, min(frozen_prefix, num_modules))
+        link_names, link_timelines = self._resolve_links(link_resource)
+        key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
+                              policy, include_reference_overhead, comm_seconds_per_byte,
+                              link_names)
+        entry = self._cache.get(key)
+        if entry is None or not all(t.busy_until <= start_time for t in link_timelines):
+            return None
+        return entry
+
+    def fast_forward_batch(self, cost_model: CostModel, count: int,
+                           workers: Optional[Sequence[WorkerLike]] = None,
+                           frozen_prefix: int = 0, cached_fp: bool = False,
+                           policy: str = SchedulePolicy.VANILLA,
+                           include_reference_overhead: bool = False,
+                           comm_seconds_per_byte: Optional[float] = None,
+                           start_time: float = 0.0,
+                           link_resource: Optional[Union[str, Sequence[str]]] = None,
+                           job_name: Optional[str] = None,
+                           job_weight: float = 1.0) -> List[EngineIterationResult]:
+        """Replay up to ``count`` consecutive memoized iterations back to back.
+
+        Each iteration goes through exactly the per-iteration fast-forward
+        pipeline — quiet-link check, sanitizer spot-check cadence, reservation
+        re-commit, observer note, counter bump — at a start time accumulated
+        with the same float arithmetic the one-event-per-iteration path uses
+        (``next_start = start + ((start + rel_end) - start)``), so results,
+        audits and metrics are bit-identical to ``count`` separate
+        :meth:`simulate_iteration` calls.  The batch is truncated (possibly
+        to empty) at the first iteration whose crossed links are no longer
+        quiet — the caller must then fall back to live simulation for the
+        remainder.  Returns the committed per-iteration results.
+        """
+        names = self._worker_names(workers)
+        worker_list = list(workers) if workers else list(names)
+        num_modules = len(cost_model.layer_modules)
+        frozen_prefix = max(0, min(frozen_prefix, num_modules))
+        link_names, link_timelines = self._resolve_links(link_resource)
+        key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
+                              policy, include_reference_overhead, comm_seconds_per_byte,
+                              link_names)
+        results: List[EngineIterationResult] = []
+        start = start_time
+        for _ in range(count):
+            entry = self._cache.get(key) if self.memoize else None
+            if entry is None or not all(t.busy_until <= start for t in link_timelines):
+                break
+            if self.sanitizer is not None and self.sanitizer.should_spot_check():
+                self._spot_check(entry, cost_model, worker_list, names, frozen_prefix,
+                                 cached_fp, policy, include_reference_overhead,
+                                 comm_seconds_per_byte, start, link_timelines,
+                                 job_name, job_weight)
+            result = self._fast_forward(entry, names, start, link_timelines,
+                                        job_name, job_weight)
+            if self.observer is not None:
+                self.observer.note_iteration(job_name, result, "replay",
+                                             frozen_prefix, num_modules)
+            results.append(result)
+            start = start + result.total
+        if len(results) > 1:
+            self.fast_forward_batches += 1
+            self.iterations_batched += len(results)
+        return results
 
     def _materialize(self, entry: _FastForwardEntry, names: List[str],
                      start_time: float) -> EngineIterationResult:

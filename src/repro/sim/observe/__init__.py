@@ -37,7 +37,7 @@ Perfetto workflow and the overhead budget.
 from .checker import check_metrics, check_trace
 from .metrics import MetricSeries, MetricsRegistry
 from .observer import SimObserver
-from .profile import profile_scenario
+from .profile import diff_profiles, profile_scenario
 from .trace import Tracer
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "SimObserver",
     "profile_scenario",
+    "diff_profiles",
     "check_trace",
     "check_metrics",
 ]

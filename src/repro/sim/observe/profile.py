@@ -22,7 +22,7 @@ import pstats
 import time
 from typing import Dict, List, Optional, Union
 
-__all__ = ["profile_scenario"]
+__all__ = ["profile_scenario", "diff_profiles"]
 
 #: ``sort`` choices mapped to their pstats row column.
 _SORT_COLUMNS = ("cumulative", "tottime", "calls")
@@ -94,4 +94,53 @@ def profile_scenario(scenario: Union[str, Dict[str, object]], top: int = 25,
         "perf": dict(perf),
         "sort": sort,
         "hot_functions": _hot_functions(profiler, int(top), sort),
+    }
+
+
+def diff_profiles(baseline: Dict[str, object], current: Dict[str, object]) -> Dict[str, object]:
+    """Per-function regression table between two profile reports.
+
+    ``baseline`` and ``current`` are :func:`profile_scenario` reports (the
+    baseline typically loaded from a ``--out`` file of an earlier run).
+    Every function appearing in either ``hot_functions`` list gets a row
+    with its baseline/current ``cumtime``/``tottime``/``calls`` and their
+    deltas, ranked worst-regression-first (``delta_cumtime`` descending) —
+    so a before/after comparison of an optimization is one
+    ``repro sim profile --baseline`` invocation.  Functions absent on one
+    side count zero there and are flagged ``"new"``/``"gone"``.
+    """
+    base_rows = {str(row["function"]): row
+                 for row in baseline.get("hot_functions", [])}  # type: ignore[union-attr]
+    current_rows = {str(row["function"]): row
+                    for row in current.get("hot_functions", [])}  # type: ignore[union-attr]
+    functions: List[Dict[str, object]] = []
+    for function in sorted(set(base_rows) | set(current_rows)):
+        old, new = base_rows.get(function), current_rows.get(function)
+        old_cum = float(old["cumtime"]) if old else 0.0
+        new_cum = float(new["cumtime"]) if new else 0.0
+        old_tot = float(old["tottime"]) if old else 0.0
+        new_tot = float(new["tottime"]) if new else 0.0
+        old_calls = int(old["calls"]) if old else 0
+        new_calls = int(new["calls"]) if new else 0
+        functions.append({
+            "function": function,
+            "status": "new" if old is None else ("gone" if new is None else "common"),
+            "baseline_cumtime": old_cum, "cumtime": new_cum,
+            "delta_cumtime": new_cum - old_cum,
+            "baseline_tottime": old_tot, "tottime": new_tot,
+            "delta_tottime": new_tot - old_tot,
+            "baseline_calls": old_calls, "calls": new_calls,
+            "delta_calls": new_calls - old_calls,
+        })
+    functions.sort(key=lambda row: (-row["delta_cumtime"], row["function"]))  # type: ignore[operator]
+    old_wall = float(baseline.get("wall_seconds", 0.0) or 0.0)
+    new_wall = float(current.get("wall_seconds", 0.0) or 0.0)
+    return {
+        "baseline_scenario": baseline.get("scenario"),
+        "scenario": current.get("scenario"),
+        "baseline_wall_seconds": old_wall,
+        "wall_seconds": new_wall,
+        "delta_wall_seconds": new_wall - old_wall,
+        "wall_ratio": (new_wall / old_wall) if old_wall > 0 else None,
+        "functions": functions,
     }

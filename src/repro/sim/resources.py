@@ -59,6 +59,8 @@ __all__ = [
     "BaseResourceTimeline",
     "ResourceTimeline",
     "FairShareTimeline",
+    "FAIR_INCREMENTAL_DEFAULT",
+    "reference_fair_schedule",
     "ResourcePool",
     "build_timeline",
 ]
@@ -407,6 +409,75 @@ class _FairTransfer:
     weight: float = 1.0
 
 
+#: Process-wide default for :class:`FairShareTimeline`'s integration mode.
+#: ``True`` (the production setting) advances the schedule incrementally from
+#: the last arrival breakpoint; ``False`` re-integrates the whole admitted
+#: history on every arrival — the pre-incremental reference behaviour, kept
+#: selectable because results are bit-identical either way and the contended
+#: benchmark measures exactly this before/after.
+FAIR_INCREMENTAL_DEFAULT = True
+
+
+def reference_fair_schedule(transfers: Iterable[_FairTransfer]) -> Dict[int, float]:
+    """Completion times of a processor-sharing schedule, swept from scratch.
+
+    The standalone reference integrator the incremental
+    :class:`FairShareTimeline` is tested against (the hypothesis equivalence
+    suite feeds both random arrival/cancel streams): one chronological sweep
+    over arrival/completion breakpoints, each active transfer draining at
+    ``weight / sum(active weights)`` of the line rate between breakpoints.
+    Returns ``{seq: completion time}`` for every transfer.
+    """
+    order = sorted(transfers, key=lambda t: (t.arrival, t.seq))
+    ends: Dict[int, float] = {}
+    remaining: Dict[int, float] = {}
+    weights: Dict[int, float] = {}
+    index, now = 0, 0.0
+    total = len(order)
+    while index < total or remaining:
+        if not remaining:
+            now = order[index].arrival
+        while index < total and order[index].arrival <= now:
+            remaining[order[index].seq] = order[index].demand
+            weights[order[index].seq] = order[index].weight
+            index += 1
+        if not remaining:
+            continue  # jump to the next arrival
+        next_arrival = order[index].arrival if index < total else float("inf")
+        if len(remaining) == 1:
+            # Sole active transfer: full line rate regardless of weight
+            # (work conservation), and exact arithmetic — the quiet-link
+            # case the engine's fast-forward replay relies on.
+            (solo_seq,) = remaining
+            finish = now + remaining[solo_seq]
+            if finish <= next_arrival:
+                del remaining[solo_seq]
+                ends[solo_seq] = finish
+                now = finish
+            else:
+                remaining[solo_seq] -= next_arrival - now
+                now = next_arrival
+            continue
+        total_weight = sum(weights[seq] for seq in remaining)
+        ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
+        min_ratio = min(ratios.values())
+        finish = now + min_ratio * total_weight
+        if finish <= next_arrival:
+            done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
+            for seq in list(remaining):
+                remaining[seq] -= min_ratio * weights[seq]
+            for seq in done:
+                del remaining[seq]
+                ends[seq] = finish
+            now = finish
+        else:
+            elapsed = next_arrival - now
+            for seq in list(remaining):
+                remaining[seq] -= elapsed * weights[seq] / total_weight
+            now = next_arrival
+    return ends
+
+
 class FairShareTimeline(BaseResourceTimeline):
     """Processor-sharing occupancy of one shared resource.
 
@@ -428,22 +499,73 @@ class FairShareTimeline(BaseResourceTimeline):
     the ``(start, end)`` returned by :meth:`reserve` reflects everything
     known at quote time and is the commitment earlier callers keep, while
     :attr:`records` always shows the fully re-flowed schedule.
+
+    The integration is **incremental**: the sweep state (per-transfer
+    remaining demand and weight of every transfer still in service) is kept
+    frozen at the most recent arrival breakpoint — the *frontier* — so an
+    in-order arrival only advances the schedule from the breakpoint it
+    perturbs (~O(active²) decrement steps) instead of re-integrating the
+    whole busy period.  Advancing the frontier performs exactly the
+    breakpoint arithmetic a from-scratch resweep performs, so the schedule
+    is bit-identical to :func:`reference_fair_schedule` — the hypothesis
+    equivalence suite and SimSan's rate-feasibility audit both assert this.
+
+    An *out-of-order* arrival (behind the frontier — routine when several
+    jobs' live iterations interleave their bucket streams) **rewinds**
+    instead of resweeping: a post-admission state snapshot is kept per
+    transfer, so the schedule restores the snapshot just before the
+    insertion point and replays only the admissions behind it
+    (:attr:`rewind_reserves` counts these, and the work is proportional to
+    how far behind the frontier the arrival lands).  Only cancellations —
+    and every arrival in the ``incremental=False`` reference mode — pay a
+    full re-integration (:attr:`full_resweeps`, versus
+    :attr:`incremental_reserves`).
     """
 
-    def __init__(self, resource: SharedResource):
-        """Wrap ``resource`` with an empty processor-sharing schedule."""
+    def __init__(self, resource: SharedResource, incremental: Optional[bool] = None):
+        """Wrap ``resource`` with an empty processor-sharing schedule.
+
+        ``incremental`` selects the integration mode (``None``: the
+        module-level :data:`FAIR_INCREMENTAL_DEFAULT`); ``False`` is the
+        reference mode that re-integrates the whole history on every
+        arrival — bit-identical results, pre-incremental cost.
+        """
         super().__init__(resource)
         self._transfers: List[_FairTransfer] = []
         #: seq -> completion time for every admitted transfer.
         self._ends: Dict[int, float] = {}
-        #: Transfers of the current *open* busy period — the only ones a new
-        #: arrival can interact with.  Transfers whose busy period already
-        #: closed (every end <= ``_closed_until`` <= every later arrival)
-        #: are immutable and never re-swept, keeping reserve() proportional
-        #: to the open period, not the whole history.
-        self._open: List[_FairTransfer] = []
-        self._closed_until = 0.0
-        self._open_max_end = 0.0
+        # Incremental integration state, frozen at the most recent admitted
+        # arrival (the *frontier*): remaining demand and weight of every
+        # transfer still in service there.  reserve() advances this state to
+        # the new arrival (finalizing the completions it crosses), admits the
+        # transfer, then *projects* the active set's completions on a scratch
+        # copy — the saved state is untouched, so the next arrival re-derives
+        # exactly the projected values on its way forward (bit-identity).
+        self._frontier = 0.0
+        self._remaining: Dict[int, float] = {}
+        self._weights: Dict[int, float] = {}
+        #: Max end among *finalized* completions (immutable history); the
+        #: busy watermark is this folded with the live projection's max, so
+        #: it is an exact function of the current schedule in both modes.
+        self._done_max_end = 0.0
+        # Rewind support: admitted transfers in canonical (arrival, seq)
+        # order, their sort keys (for bisect), and one state snapshot per
+        # admission — (frontier, remaining, weights, done_max_end) captured
+        # right after the transfer was admitted.  An out-of-order arrival
+        # restores the snapshot preceding its insertion point and replays
+        # only the admissions behind it.
+        self._order: List[_FairTransfer] = []
+        self._order_keys: List[Tuple[float, int]] = []
+        self._snaps: List[Tuple[float, Dict[int, float], Dict[int, float], float]] = []
+        self._incremental = (FAIR_INCREMENTAL_DEFAULT if incremental is None
+                             else bool(incremental))
+        #: Perf counter: in-order arrivals integrated from the frontier.
+        self.incremental_reserves = 0
+        #: Perf counter: out-of-order arrivals served by a snapshot rewind.
+        self.rewind_reserves = 0
+        #: Perf counter: full from-scratch re-integrations (cancels, and
+        #: every arrival in the reference mode).
+        self.full_resweeps = 0
 
     @property
     def records(self) -> Tuple[ResourceOccupancy, ...]:
@@ -474,17 +596,21 @@ class FairShareTimeline(BaseResourceTimeline):
                                  job, kind, self._seq, weight=float(weight))
         self._seq += 1
         self._transfers.append(transfer)
-        if transfer.arrival < self._closed_until:
-            # Out-of-order arrival into already-closed history: rebuild the
-            # whole schedule (rare — scheduler requests come in time order).
-            self._resweep_all()
+        active_depth: Optional[int] = None
+        if not self._incremental:
+            # Reference mode: rebuild the whole schedule from scratch.
+            self._replay_all()
+        elif transfer.arrival < self._frontier:
+            # Out-of-order arrival behind the frontier (interleaved jobs):
+            # rewind to the snapshot before its slot and replay the suffix.
+            self._rewind_insert(transfer)
+            self.rewind_reserves += 1
         else:
-            if self._open and transfer.arrival >= self._open_max_end:
-                # The open period drained before this arrival: close it.
-                self._closed_until = self._open_max_end
-                self._open = []
-            self._open.append(transfer)
-            self._sweep_open()
+            self._advance(transfer.arrival)
+            self._admit(transfer)
+            self._project()
+            self.incremental_reserves += 1
+            active_depth = len(self._remaining) - 1
         end = self._ends[transfer.seq]
         if self.sanitizer is not None:
             self.sanitizer.note_reserve(self, transfer.arrival, transfer.arrival, end,
@@ -492,11 +618,13 @@ class FairShareTimeline(BaseResourceTimeline):
         if self.observer is not None:
             # Queue depth under processor sharing: transfers this arrival
             # shares capacity with (still draining at its arrival instant).
-            depth = sum(1 for other in self._open
-                        if other.seq != transfer.seq
-                        and self._ends[other.seq] > transfer.arrival)
+            if active_depth is None:
+                active_depth = sum(1 for other in self._transfers
+                                   if other.seq != transfer.seq
+                                   and other.arrival <= transfer.arrival
+                                   and self._ends[other.seq] > transfer.arrival)
             self.observer.note_reserve(self, transfer.arrival, transfer.arrival, end,
-                                       int(num_bytes), job, kind, depth)
+                                       int(num_bytes), job, kind, active_depth)
         return transfer.arrival, end
 
     def cancel(self, job: str, after_time: float) -> int:
@@ -516,7 +644,7 @@ class FairShareTimeline(BaseResourceTimeline):
             if self.sanitizer is not None:
                 self.sanitizer.note_cancel(self, job, after_time)
             self._transfers = kept
-            self._resweep_all()
+            self._replay_all()
             if self.sanitizer is not None:
                 self.sanitizer.note_cancelled(self)
         return cancelled
@@ -573,77 +701,173 @@ class FairShareTimeline(BaseResourceTimeline):
             (t.arrival, self._ends[t.seq], t.demand, t.weight)
             for t in self._transfers))
 
-    def _resweep_all(self) -> None:
-        """Rebuild the schedule from scratch (cancel / out-of-order arrivals)."""
-        self._ends = {}
-        self._open = list(self._transfers)
-        self._closed_until = 0.0
-        self._busy_until = 0.0
-        self._sweep_open()
+    def _advance(self, target: float) -> None:
+        """Integrate the frontier state forward to ``target`` (the next arrival).
 
-    def _sweep_open(self) -> None:
-        """Recompute the open busy period's schedule; updates the end cache.
-
-        A single chronological sweep over arrival/completion breakpoints:
-        between breakpoints the active set is constant and each active
-        transfer's remaining demand drains at ``weight / sum(weights)`` of
-        the line rate (all weights 1.0: the classic ``1/len(active)`` even
-        split, bit-for-bit).  Ties (simultaneous completions) resolve
+        Completions crossed on the way become final and land in the end
+        cache; a partial interval at the end positions the state exactly at
+        ``target``.  The arithmetic per breakpoint is exactly the reference
+        sweep's with ``target`` as its next-arrival bound — between
+        breakpoints each active transfer drains at ``weight / sum(weights)``
+        of the line rate (all weights 1.0: the classic ``1/len(active)``
+        even split, bit-for-bit); ties (simultaneous completions) resolve
         exactly because tied transfers carry identical remaining-to-weight
         ratios; a transfer running alone drains at exactly the full rate, so
-        its completion is ``now + remaining`` with no weight arithmetic.
+        its completion is ``now + remaining`` with no weight arithmetic —
+        the quiet-link case the engine's fast-forward replay relies on.
         """
-        order = sorted(self._open, key=lambda t: (t.arrival, t.seq))
-        remaining: Dict[int, float] = {}
-        weights: Dict[int, float] = {}
-        index, now = 0, 0.0
-        total = len(order)
-        open_max_end = 0.0
-        while index < total or remaining:
-            if not remaining:
-                now = order[index].arrival
-            while index < total and order[index].arrival <= now:
-                remaining[order[index].seq] = order[index].demand
-                weights[order[index].seq] = order[index].weight
-                index += 1
-            if not remaining:
-                continue  # jump to the next arrival
-            next_arrival = order[index].arrival if index < total else float("inf")
+        remaining, weights = self._remaining, self._weights
+        now = self._frontier
+        while remaining:
             if len(remaining) == 1:
                 # Sole active transfer: full line rate regardless of weight
-                # (work conservation), and exact arithmetic — the quiet-link
-                # case the engine's fast-forward replay relies on.
+                # (work conservation), and exact arithmetic.
                 (solo_seq,) = remaining
                 finish = now + remaining[solo_seq]
-                if finish <= next_arrival:
+                if finish <= target:
                     del remaining[solo_seq]
+                    del weights[solo_seq]
                     self._ends[solo_seq] = finish
-                    open_max_end = max(open_max_end, finish)
+                    self._done_max_end = max(self._done_max_end, finish)
                     now = finish
-                else:
-                    remaining[solo_seq] -= next_arrival - now
-                    now = next_arrival
-                continue
+                    continue
+                remaining[solo_seq] -= target - now
+                break
             total_weight = sum(weights[seq] for seq in remaining)
             ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
             min_ratio = min(ratios.values())
             finish = now + min_ratio * total_weight
-            if finish <= next_arrival:
+            if finish <= target:
                 done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
                 for seq in list(remaining):
                     remaining[seq] -= min_ratio * weights[seq]
                 for seq in done:
                     del remaining[seq]
+                    del weights[seq]
                     self._ends[seq] = finish
-                    open_max_end = max(open_max_end, finish)
+                self._done_max_end = max(self._done_max_end, finish)
                 now = finish
             else:
-                elapsed = next_arrival - now
+                elapsed = target - now
                 for seq in list(remaining):
                     remaining[seq] -= elapsed * weights[seq] / total_weight
-                now = next_arrival
-        self._open_max_end = open_max_end
-        self._busy_until = max(self._busy_until, open_max_end)
+                break
+        # Drained before target (idle gap) or stopped exactly at it: either
+        # way the frontier now sits at the arrival about to be admitted.
+        self._frontier = target
+
+    def _admit(self, transfer: _FairTransfer) -> None:
+        """Enter an arrival (the frontier already sits at it) into the state,
+        appending its canonical-order slot and post-admission snapshot."""
+        self._remaining[transfer.seq] = transfer.demand
+        self._weights[transfer.seq] = transfer.weight
+        self._order.append(transfer)
+        self._order_keys.append((transfer.arrival, transfer.seq))
+        self._snaps.append((self._frontier, dict(self._remaining),
+                            dict(self._weights), self._done_max_end))
+
+    def _rewind_insert(self, transfer: _FairTransfer) -> None:
+        """Insert an arrival behind the frontier by snapshot rewind + replay.
+
+        Restores the state captured right after the admission preceding the
+        new transfer's canonical slot, then replays the later admissions
+        through the same :meth:`_advance`/:meth:`_admit` steps a fully
+        in-order stream would take — so the rebuilt schedule (dict iteration
+        order included) is bit-identical to a from-scratch resweep of the
+        reordered stream, at a cost proportional to the rewind distance.
+        Ends finalized past the rewind point are recomputed on the way
+        forward; ends finalized before it are untouched.
+        """
+        position = bisect.bisect(self._order_keys, (transfer.arrival, transfer.seq))
+        if position == 0:
+            self._frontier = 0.0
+            self._remaining = {}
+            self._weights = {}
+            self._done_max_end = 0.0
+        else:
+            frontier, remaining, weights, done_max_end = self._snaps[position - 1]
+            self._frontier = frontier
+            self._remaining = dict(remaining)
+            self._weights = dict(weights)
+            self._done_max_end = done_max_end
+        replay = self._order[position:]
+        del self._order[position:]
+        del self._order_keys[position:]
+        del self._snaps[position:]
+        self._advance(transfer.arrival)
+        self._admit(transfer)
+        for later in replay:
+            self._advance(later.arrival)
+            self._admit(later)
+        self._project()
+
+    def _project(self) -> None:
+        """Quote completions for the active set by draining a scratch copy.
+
+        Writes (revised) ends for every transfer active at the frontier into
+        the end cache; the saved frontier state is untouched, so the next
+        arrival's :meth:`_advance` re-derives exactly these values on its
+        way forward.  Completions within one busy period are chronological,
+        so the last projected finish is the period's max end — what
+        ``busy_until`` folds in.
+        """
+        remaining = dict(self._remaining)
+        weights = self._weights
+        now = self._frontier
+        max_end = 0.0
+        while remaining:
+            if len(remaining) == 1:
+                (solo_seq,) = remaining
+                finish = now + remaining[solo_seq]
+                del remaining[solo_seq]
+                self._ends[solo_seq] = finish
+                max_end = finish
+                now = finish
+                continue
+            total_weight = sum(weights[seq] for seq in remaining)
+            ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
+            min_ratio = min(ratios.values())
+            finish = now + min_ratio * total_weight
+            done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
+            for seq in list(remaining):
+                remaining[seq] -= min_ratio * weights[seq]
+            for seq in done:
+                del remaining[seq]
+                self._ends[seq] = finish
+            max_end = finish
+            now = finish
+        self._busy_until = max(self._done_max_end, max_end)
+
+    def _replay_all(self) -> None:
+        """Re-integrate the whole admitted history from scratch.
+
+        Used on cancellation (and on every arrival in the
+        ``incremental=False`` reference mode): transfers replay
+        chronologically through the same :meth:`_advance`/admit steps an
+        in-order arrival stream takes, followed by one final projection —
+        so the rebuilt schedule is bit-identical to the incrementally
+        maintained one (and to :func:`reference_fair_schedule`).
+        """
+        self._ends = {}
+        self._remaining = {}
+        self._weights = {}
+        self._frontier = 0.0
+        self._busy_until = 0.0
+        self._done_max_end = 0.0
+        self._order = []
+        self._order_keys = []
+        self._snaps = []
+        self.full_resweeps += 1
+        for transfer in sorted(self._transfers, key=lambda t: (t.arrival, t.seq)):
+            self._advance(transfer.arrival)
+            if self._incremental:
+                self._admit(transfer)
+            else:
+                # Reference mode resweeps on every arrival; skip the
+                # canonical-order/snapshot bookkeeping it never reads.
+                self._remaining[transfer.seq] = transfer.demand
+                self._weights[transfer.seq] = transfer.weight
+        self._project()
 
 
 def build_timeline(resource: SharedResource) -> BaseResourceTimeline:
@@ -718,6 +942,27 @@ class ResourcePool:
     def cancel_job(self, job: str, after_time: float) -> int:
         """Cancel (and re-flow) the job's pending transfers on every timeline."""
         return sum(timeline.cancel(job, after_time) for timeline in self._timelines.values())
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Aggregated host-side work counters across the pool's timelines.
+
+        ``fair_incremental_reserves`` counts fair-share arrivals integrated
+        incrementally from the frontier; ``fair_rewind_reserves`` counts
+        out-of-order arrivals served by a snapshot rewind;
+        ``fair_full_resweeps`` counts full from-scratch re-integrations
+        (cancels, and every arrival when a timeline runs in the reference
+        mode) — the incremental-vs-resweep savings readout.  Pure
+        observability: the counters never influence scheduling.
+        """
+        incremental = rewinds = resweeps = 0
+        for timeline in self._timelines.values():
+            if isinstance(timeline, FairShareTimeline):
+                incremental += timeline.incremental_reserves
+                rewinds += timeline.rewind_reserves
+                resweeps += timeline.full_resweeps
+        return {"fair_incremental_reserves": incremental,
+                "fair_rewind_reserves": rewinds,
+                "fair_full_resweeps": resweeps}
 
     def summary(self) -> Dict[str, Dict[str, object]]:
         """Deterministic name-sorted plain-data summary of every timeline."""

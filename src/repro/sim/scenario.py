@@ -99,7 +99,7 @@ _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers"
              "storage", "link", "async_checkpoint", "weight"}
 _SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
                   "gpu_speeds", "failures", "resizes", "preemptions", "resumes",
-                  "memoize", "sanitize", "observe"}
+                  "memoize", "sanitize", "observe", "batch_fast_forward"}
 _OBSERVE_KEYS = {"trace", "metrics"}
 
 
@@ -187,7 +187,8 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
                                observe=_build_observer(spec.get("observe")))
     scheduler = ClusterScheduler(cluster, engine=engine,
                                  placement=str(spec.get("placement", "fifo")),
-                                 seed=int(spec.get("seed", 0)))
+                                 seed=int(spec.get("seed", 0)),
+                                 batch_fast_forward=bool(spec.get("batch_fast_forward", True)))
     jobs = spec.get("jobs") or []
     if not jobs:
         raise ValueError("scenario has no jobs")

@@ -61,6 +61,7 @@ from a seeded generator, so two runs with the same inputs produce identical
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
@@ -176,6 +177,18 @@ class SimJob:
 
     def rollback(self, to_iteration: int) -> None:
         """Called when the scheduler rolls the job back to ``to_iteration``."""
+
+    def steady_profile(self) -> bool:
+        """Whether per-iteration hooks are pure, making the job batchable.
+
+        Cost-model-only jobs price every iteration from immutable state —
+        ``begin_iteration`` is a no-op and ``iteration_profile`` is a pure
+        function of the iteration index — so the scheduler may plan several
+        iterations ahead (batched fast-forward).  Jobs that run a *real*
+        trainer override this to ``False``: their freezing decisions emerge
+        one iteration at a time and must never be precomputed.
+        """
+        return True
 
 
 @dataclass
@@ -326,14 +339,22 @@ class ClusterScheduler:
     PLACEMENTS = ("fifo", "round_robin", "tor_pack")
 
     def __init__(self, cluster: Cluster, engine: Optional[EventDrivenEngine] = None,
-                 placement: str = "fifo", seed: int = 0):
-        """Wire the scheduler to a cluster and (optionally) a shared engine."""
+                 placement: str = "fifo", seed: int = 0,
+                 batch_fast_forward: bool = True):
+        """Wire the scheduler to a cluster and (optionally) a shared engine.
+
+        ``batch_fast_forward`` lets steady-state runs of memo-cached
+        iterations commit as a single heap event per batch (see
+        :meth:`_schedule_iteration_batch`); ``False`` forces the legacy
+        one-event-per-iteration path.  Results are bit-identical either way.
+        """
         if placement not in self.PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}; expected one of {self.PLACEMENTS}")
         self.cluster = cluster
         self.engine = engine or EventDrivenEngine(cluster)
         self.placement = placement
         self.seed = seed
+        self.batch_fast_forward = bool(batch_fast_forward)
 
         self._all_gpus: List[GPUDevice] = cluster.all_gpus()
         self._free: Dict[str, GPUDevice] = {gpu.name: gpu for gpu in self._all_gpus}
@@ -611,10 +632,14 @@ class ClusterScheduler:
                                                    weight=job.weight)
         return end - start_time
 
-    def _schedule_iteration(self, job: SimJob, now: float) -> None:
+    def _schedule_iteration(self, job: SimJob, now: float, allow_batch: bool = False) -> None:
         record = self.records[job.name]
         workers = self._allocations[job.name]
         iteration_index = record.iterations_done
+        if (allow_batch and self.batch_fast_forward and job.steady_profile()
+                and self._schedule_iteration_batch(job, record, workers,
+                                                   iteration_index, now)):
+            return
         # Trainer-backed jobs run one *real* training iteration here; its
         # freezing decisions then price the simulated iteration.
         job.begin_iteration(iteration_index, sim_time=now)
@@ -658,6 +683,86 @@ class ClusterScheduler:
             self._push(now + duration, "iteration_done",
                        (job.name, token, duration, ckpt_seconds, ckpt_bytes, True))
 
+    def _schedule_iteration_batch(self, job: SimJob, record: JobRecord,
+                                  workers: List[GPUDevice], iteration_index: int,
+                                  now: float) -> bool:
+        """Commit a run of memo-cached iterations as **one** heap event.
+
+        Plans the longest run ``K >= 2`` of upcoming iterations that (a)
+        share one constant pricing profile, (b) end strictly before both the
+        next checkpoint-writing iteration and the earliest pending heap
+        event — so no knob event (arrival, resize, fault, speed change,
+        another job's completion, checkpoint drain) can intervene — and (c)
+        start from a quiet fast-forward cache hit.  The engine replays the K
+        cached iterations back to back with the exact per-iteration float
+        arithmetic of the unbatched path (each start is the previous start
+        plus that iteration's ``result.total``), re-committing every link
+        window, and a single ``iteration_batch_done`` event credits all K.
+
+        If a fair-share revision or re-flow moves a crossed transfer's end
+        past a later iteration's start, the engine truncates the batch there:
+        the committed prefix's completion is re-quoted at its true end and
+        the remaining iterations are re-planned when that event pops (live
+        if the links stay busy).  Only called from the event-loop
+        continuation, where the pending heap is the complete future — a
+        placement sweep admitting several jobs at once must not batch, since
+        later admissions' traffic is not in the heap yet.
+
+        Returns ``False`` (committing nothing) when no batch of at least two
+        iterations is possible; the caller falls back to the
+        one-event-per-iteration path.
+        """
+        horizon = self._heap[0][0] if self._heap else math.inf
+        if not now < horizon:
+            return False
+        prefix, cached_fp, include_reference = profile = job.iteration_profile(iteration_index)
+        links = self._links_for(job, workers)
+        entry = self.engine.can_fast_forward(
+            job.cost_model, workers=workers, frozen_prefix=prefix,
+            cached_fp=cached_fp, policy=job.policy,
+            include_reference_overhead=include_reference, start_time=now,
+            link_resource=links)
+        if entry is None:
+            return False
+        limit = job.iterations - iteration_index
+        if job.checkpoint_every:
+            # The checkpoint-writing iteration keeps the single-iteration
+            # path: it prices and queues the snapshot write.
+            limit = min(limit, job.checkpoint_every - 1
+                        - (iteration_index % job.checkpoint_every))
+        if limit < 2:
+            return False
+        starts: List[float] = []
+        start = now
+        while len(starts) < limit:
+            if starts and job.iteration_profile(iteration_index + len(starts)) != profile:
+                break
+            end = start + entry.rel_end
+            nxt = start + (end - start)
+            if not nxt < horizon:
+                break
+            starts.append(start)
+            start = nxt
+        if len(starts) < 2:
+            return False
+        for offset, planned_start in enumerate(starts):
+            job.begin_iteration(iteration_index + offset, sim_time=planned_start)
+        results = self.engine.fast_forward_batch(
+            job.cost_model, len(starts), workers=workers, frozen_prefix=prefix,
+            cached_fp=cached_fp, policy=job.policy,
+            include_reference_overhead=include_reference, start_time=now,
+            link_resource=links, job_name=job.name, job_weight=job.weight)
+        if not results:
+            return False
+        token = self._iter_token.get(job.name, 0) + 1
+        self._iter_token[job.name] = token
+        durations = tuple(result.total for result in results)
+        end = now
+        for duration in durations:
+            end = end + duration
+        self._push(end, "iteration_batch_done", (job.name, token, durations))
+        return True
+
     # ------------------------------------------------------------------ #
     # Event loop
     # ------------------------------------------------------------------ #
@@ -685,7 +790,7 @@ class ClusterScheduler:
             now, _seq, kind, payload = heapq.heappop(self._heap)
             if sanitizer is not None:
                 sanitizer.check_event("scheduler", now, kind)
-            if kind in ("arrival", "iteration_done", "ckpt_done"):
+            if kind in ("arrival", "iteration_done", "iteration_batch_done", "ckpt_done"):
                 # Knob events (set_speed/resize) may be timestamped past the
                 # last completed work; they do not extend the makespan.
                 makespan = max(makespan, now)
@@ -726,7 +831,33 @@ class ClusterScheduler:
                     self._trace(now, "job_finish", job=job_name)
                     self._try_place(now)
                 else:
-                    self._schedule_iteration(job, now)
+                    self._schedule_iteration(job, now, allow_batch=True)
+            elif kind == "iteration_batch_done":
+                # A committed run of fast-forwarded iterations; credit each
+                # one with the exact per-event bookkeeping (same accumulation
+                # order) the unbatched path would have performed.
+                job_name, token, durations = payload
+                job = self._jobs[job_name]
+                record = self.records[job_name]
+                if token != self._iter_token.get(job_name) or job_name not in self._allocations:
+                    continue  # stale event from before a resize/failure/preemption/finish
+                workers = self._allocations[job_name]
+                for duration in durations:
+                    record.iterations_done += 1
+                    record.iteration_seconds.append(duration)
+                    record.samples_processed += job.cost_model.batch_size * len(workers)
+                    for gpu in workers:
+                        self.gpu_busy_seconds[gpu.name] += duration
+                if record.iterations_done >= job.iterations:
+                    record.finish_time = now
+                    if record.placed_since is not None:
+                        record.placed_seconds += now - record.placed_since
+                        record.placed_since = None
+                    self._release(job_name, self._allocations.pop(job_name), now)
+                    self._trace(now, "job_finish", job=job_name)
+                    self._try_place(now)
+                else:
+                    self._schedule_iteration(job, now, allow_batch=True)
             elif kind == "set_speed":
                 gpu_name, factor = payload
                 self.engine.set_gpu_speed(gpu_name, factor)

@@ -139,6 +139,10 @@ class TrainerJob(SimJob):
         """The pricing profile captured by :meth:`begin_iteration`."""
         return self._profile
 
+    def steady_profile(self) -> bool:
+        """Never batchable: each profile emerges from a real training step."""
+        return False
+
     # ------------------------------------------------------------------ #
     # Real checkpoint volume
     # ------------------------------------------------------------------ #

@@ -120,12 +120,18 @@ class TestSimCommands:
     def test_sim_run_writes_out_file_and_is_deterministic(self, tmp_path, capsys):
         scenario = self._write(tmp_path, self.SCENARIO)
         out1, out2 = str(tmp_path / "r1.json"), str(tmp_path / "r2.json")
-        assert main(["sim", "run", scenario, "--out", out1, "--trace"]) == 0
-        assert main(["sim", "run", scenario, "--out", out2, "--trace"]) == 0
+        assert main(["sim", "run", scenario, "--out", out1]) == 0
+        assert main(["sim", "run", scenario, "--out", out2]) == 0
         capsys.readouterr()
         first, second = (json.loads(open(p).read()) for p in (out1, out2))
         assert first == second
-        assert first["trace"], "trace requested but empty"
+
+    def test_sim_run_removed_trace_flag_points_at_trace_out(self, tmp_path, capsys):
+        scenario = self._write(tmp_path, self.SCENARIO)
+        assert main(["sim", "run", scenario, "--trace"]) == 2
+        err = capsys.readouterr().err
+        assert "--trace was removed" in err
+        assert "--trace-out" in err
 
     def test_sim_run_rejects_bad_scenarios(self, tmp_path, capsys):
         bad_key = dict(self.SCENARIO, warp=1)

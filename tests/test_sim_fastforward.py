@@ -5,8 +5,8 @@ Three families of guarantees:
 * **Bit-identity** — an engine with memoization on produces results (totals,
   per-worker ends, makespans, per-link bytes, checkpoint bytes) exactly
   equal to the event-by-event reference path, at the engine, scheduler,
-  trainer-backed-job and scenario levels, plus a hypothesis property over
-  randomized multi-job scenarios.
+  trainer-backed-job and scenario levels — with batched fast-forward on or
+  off — plus a hypothesis property over randomized multi-job scenarios.
 * **Invalidation matrix** — every dynamics transition forces a live
   re-simulation whose timing differs from the cached steady state: a freeze
   event, an elastic resize, a checkpointed migration, a second job arriving
@@ -216,32 +216,128 @@ class TestEngineFastForward:
 
 
 # --------------------------------------------------------------------------- #
+# Engine-level batched fast-forward: plan (can_fast_forward) + commit (batch)
+# --------------------------------------------------------------------------- #
+class TestEngineBatchedFastForward:
+    def test_can_fast_forward_is_a_pure_precondition_probe(self):
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        cost_model = make_cost_model()
+        workers = cluster.workers(2, 2)
+        kwargs = dict(workers=workers, link_resource=Cluster.FABRIC)
+        assert engine.can_fast_forward(cost_model, **kwargs) is None  # cold cache
+        first = engine.simulate_iteration(cost_model, job_name="a", **kwargs)
+        entry = engine.can_fast_forward(cost_model, start_time=first.end_time, **kwargs)
+        assert entry is not None
+        # Pure lookup: no counters moved, nothing was committed.
+        assert engine.iterations_fast_forwarded == 0
+        assert engine.can_fast_forward(cost_model, start_time=first.end_time,
+                                       **kwargs) is entry
+        # A foreign transfer makes the crossed link non-quiet -> None.
+        engine.resource_timeline(Cluster.FABRIC).reserve(
+            first.end_time, 10 * first.total, num_bytes=1, job="b")
+        assert engine.can_fast_forward(cost_model, start_time=first.end_time,
+                                       **kwargs) is None
+        disabled = EventDrivenEngine(cluster, memoize=False)
+        disabled.simulate_iteration(cost_model, job_name="a", **kwargs)
+        assert disabled.can_fast_forward(cost_model, **kwargs) is None
+
+    def test_batch_matches_per_iteration_replays_exactly(self):
+        def run(batched):
+            cluster = paper_testbed_cluster()
+            engine = EventDrivenEngine(cluster)
+            workers = cluster.workers(2, 2)
+            kwargs = dict(workers=workers, link_resource=Cluster.FABRIC, job_name="a")
+            seed = engine.simulate_iteration(make_cost_model(), **kwargs)
+            if batched:
+                replays = engine.fast_forward_batch(make_cost_model(), 6,
+                                                    start_time=seed.end_time, **kwargs)
+            else:
+                replays, clock = [], seed.end_time
+                for _ in range(6):
+                    replays.append(engine.simulate_iteration(make_cost_model(),
+                                                             start_time=clock, **kwargs))
+                    clock = clock + replays[-1].total
+            links = [(r.start, r.end, r.num_bytes, r.job, r.kind)
+                     for r in engine.resource_timeline(Cluster.FABRIC).records]
+            return [r.as_dict() for r in replays], links, engine.iterations_fast_forwarded
+
+        (batch_results, batch_links, batch_ff) = run(True)
+        (loop_results, loop_links, loop_ff) = run(False)
+        assert batch_results == loop_results  # totals, per-worker ends, everything
+        assert batch_links == loop_links      # byte audit committed identically
+        assert batch_ff == loop_ff == 6
+
+    def test_batch_truncates_to_empty_on_a_non_quiet_link(self):
+        """The re-quote rule: ``busy_until`` is a monotone high-water mark, so
+        any foreign window — even one booked in the future — makes the crossed
+        link non-quiet and the batch refuses to replay past it.  The caller
+        falls back to live simulation, exactly like per-iteration replay."""
+        cluster = paper_testbed_cluster()
+        engine = EventDrivenEngine(cluster)
+        workers = cluster.workers(2, 2)
+        kwargs = dict(workers=workers, link_resource=Cluster.FABRIC, job_name="a")
+        seed = engine.simulate_iteration(make_cost_model(), **kwargs)
+        engine.resource_timeline(Cluster.FABRIC).reserve(
+            seed.end_time + 2 * seed.total, 5 * seed.total, num_bytes=1, job="b")
+        replays = engine.fast_forward_batch(make_cost_model(), 10,
+                                            start_time=seed.end_time, **kwargs)
+        assert replays == []
+        assert engine.fast_forward_batches == 0
+        assert engine.iterations_fast_forwarded == 0
+        # The planning probe agrees with the commit path.
+        assert engine.can_fast_forward(make_cost_model(), workers=workers,
+                                       link_resource=Cluster.FABRIC,
+                                       start_time=seed.end_time) is None
+
+    def test_single_replay_is_not_counted_as_a_batch(self):
+        engine = EventDrivenEngine()
+        seed = engine.simulate_iteration(make_cost_model())
+        replays = engine.fast_forward_batch(make_cost_model(), 1,
+                                            start_time=seed.end_time)
+        assert len(replays) == 1
+        assert engine.fast_forward_batches == 0
+        assert engine.iterations_batched == 0
+        assert engine.perf_counters()["mean_batch_size"] == 0.0
+
+
+# --------------------------------------------------------------------------- #
 # Scheduler-level invalidation matrix (memoized == reference throughout)
 # --------------------------------------------------------------------------- #
 class TestSchedulerInvalidationMatrix:
-    def _run(self, configure, memoize):
+    def _run(self, configure, memoize, batch=True):
         cluster = paper_testbed_cluster()
-        scheduler = ClusterScheduler(cluster, engine=EventDrivenEngine(cluster, memoize=memoize))
+        scheduler = ClusterScheduler(cluster,
+                                     engine=EventDrivenEngine(cluster, memoize=memoize),
+                                     batch_fast_forward=batch)
         configure(scheduler)
         return scheduler.run()
 
     def _check_transition(self, configure, job_name="a"):
         """The scenario must fast-forward some iterations, re-simulate at the
-        transition (timing differs), and stay bit-identical to the reference."""
-        memoized = self._run(configure, memoize=True)
+        transition (timing differs), and stay bit-identical to the reference —
+        with batched fast-forward, per-iteration fast-forward, and the live
+        event-by-event engine all producing the same result."""
+        batched = self._run(configure, memoize=True, batch=True)
+        memoized = self._run(configure, memoize=True, batch=False)
         reference = self._run(configure, memoize=False)
+        assert result_dict(batched) == result_dict(reference)
         assert result_dict(memoized) == result_dict(reference)
         assert memoized.perf["iterations_fast_forwarded"] > 0
         assert memoized.perf["iterations_simulated"] > 1  # the transition re-simulated
+        assert memoized.perf["fast_forward_batches"] == 0  # batching was off
         durations = memoized.jobs[job_name].iteration_seconds
         assert len(set(durations)) > 1, "transition did not change iteration timing"
-        return memoized
+        return batched
 
     def test_freeze_schedule(self):
         def configure(scheduler):
             scheduler.submit(SimJob("a", make_cost_model(), num_workers=4, iterations=12,
                                     frozen_prefix=lambda i: min(i // 4, 2), cached_fp=True))
-        self._check_transition(configure)
+        result = self._check_transition(configure)
+        # Steady phases really commit as batches (profile changes bound them).
+        assert result.perf["fast_forward_batches"] > 0
+        assert result.perf["iterations_batched"] > 0
 
     def test_elastic_resize(self):
         def configure(scheduler):
@@ -325,10 +421,12 @@ def test_fast_forward_makespan_equals_event_by_event(param_counts, num_workers, 
     equal between the memoized and the event-by-event engines, across
     policies, disciplines, freezing schedules and checkpoint cadences.
     """
-    def run(memoize):
+    def run(memoize, batch=False):
         cluster = Cluster(ClusterSpec(num_machines=3, gpus_per_machine=2,
                                       fabric_policy=fabric_policy))
-        scheduler = ClusterScheduler(cluster, engine=EventDrivenEngine(cluster, memoize=memoize))
+        scheduler = ClusterScheduler(cluster,
+                                     engine=EventDrivenEngine(cluster, memoize=memoize),
+                                     batch_fast_forward=batch)
         prefix = (lambda i: min(i // 2, prefix_cap)) if prefix_cap else 0
         scheduler.submit(SimJob("a", make_cost_model(param_counts), num_workers=num_workers,
                                 iterations=iterations, policy=policy, frozen_prefix=prefix,
@@ -337,7 +435,8 @@ def test_fast_forward_makespan_equals_event_by_event(param_counts, num_workers, 
                                 iterations=max(1, iterations // 2)))
         return result_dict(scheduler.run())
 
-    assert run(True) == run(False)
+    assert run(True, batch=True) == run(False)
+    assert run(True, batch=False) == run(False)
 
 
 # --------------------------------------------------------------------------- #
@@ -365,6 +464,17 @@ class TestIntegration:
         assert reference["perf"]["iterations_fast_forwarded"] == 0
         for key in ("makespan", "jobs", "resources", "utilization"):
             assert plain[key] == reference[key]
+
+    def test_scenario_batch_fast_forward_flag(self):
+        """``"batch_fast_forward": false`` falls back to one-event-per-
+        iteration replay with bit-identical results; the default batches."""
+        batched = run_scenario(self.SCENARIO)
+        unbatched = run_scenario(dict(self.SCENARIO, batch_fast_forward=False))
+        assert batched["perf"]["fast_forward_batches"] > 0
+        assert unbatched["perf"]["fast_forward_batches"] == 0
+        assert unbatched["perf"]["iterations_batched"] == 0
+        for key in ("makespan", "jobs", "resources", "utilization"):
+            assert batched[key] == unbatched[key]
 
     def _trainer(self):
         full = make_dataset("synthetic_cifar10", num_samples=48, num_classes=4,

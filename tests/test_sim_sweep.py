@@ -111,6 +111,61 @@ class TestRunSweep:
         with pytest.raises(ValueError, match="workers"):
             run_sweep({"scenario": BASE_SCENARIO, "grid": {"seed": [1]}}, workers=0)
 
+    def test_cell_seeds_stay_base_plus_index(self):
+        """The documented seed law: cell ``i`` always runs at ``seed + i``,
+        identically in the serial and pooled paths — the invariant every
+        "independent of worker count" guarantee rests on."""
+        sweep = {"scenario": BASE_SCENARIO, "seed": 7,
+                 "grid": {"cluster.storage_gbps": [1.0, 2.0],
+                          "placement": ["fifo", "round_robin"]}}
+        for workers in (1, 2):
+            merged = run_sweep(sweep, workers=workers)
+            assert [row["seed"] for row in merged["cells"]] == [7, 8, 9, 10]
+            assert [row["index"] for row in merged["cells"]] == [0, 1, 2, 3]
+        # build_cells (the CLI's dry-run view) agrees with what actually ran.
+        assert [cell["seed"] for cell in build_cells(sweep)] == [7, 8, 9, 10]
+        assert [cell["scenario"]["seed"] for cell in build_cells(sweep)] == [7, 8, 9, 10]
+
+
+class TestPersistentPool:
+    SWEEP = {"scenario": BASE_SCENARIO,
+             "grid": {"cluster.storage_gbps": [5.0, 10.0, 20.0]}}
+
+    def test_pool_survives_and_is_reused_across_sweeps(self):
+        import repro.sim.sweep as sweep_mod
+
+        sweep_mod.shutdown_pool()
+        first = run_sweep(self.SWEEP, workers=2)
+        state = sweep_mod._POOL_STATE
+        assert state is not None
+        second = run_sweep(self.SWEEP, workers=2)
+        assert sweep_mod._POOL_STATE is state  # same live pool, not a rebuild
+        assert second == first
+
+    def test_pool_rebuilt_on_size_or_base_change(self):
+        import repro.sim.sweep as sweep_mod
+
+        run_sweep(self.SWEEP, workers=2)
+        pool_before = sweep_mod._POOL_STATE[0]
+        run_sweep(self.SWEEP, workers=3)
+        assert sweep_mod._POOL_STATE[0] is not pool_before
+
+        pool_before = sweep_mod._POOL_STATE[0]
+        other_base = dict(self.SWEEP, scenario=dict(BASE_SCENARIO, seed=99))
+        run_sweep(other_base, workers=3)
+        assert sweep_mod._POOL_STATE[0] is not pool_before
+
+    def test_shutdown_pool_reaps_and_is_idempotent(self):
+        import repro.sim.sweep as sweep_mod
+
+        result = run_sweep(self.SWEEP, workers=2)
+        assert sweep_mod._POOL_STATE is not None
+        sweep_mod.shutdown_pool()
+        assert sweep_mod._POOL_STATE is None
+        sweep_mod.shutdown_pool()  # no-op on an already-dead pool
+        # A fresh sweep transparently rebuilds and still matches.
+        assert run_sweep(self.SWEEP, workers=2) == result
+
 
 class TestSweepCli:
     def _write(self, tmp_path, spec, name="sweep.json"):
