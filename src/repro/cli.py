@@ -38,6 +38,12 @@ Four subcommands mirror the typical workflows:
     plus wall-clock throughput (events/s, iterations/s); ``--out`` writes
     the machine-readable report for regression tracking.
 
+``python -m repro.cli sim faults scenario.json [--out plan.json]``
+    Resolve and print a scenario's fault plan (``"faults"`` key) without
+    running it: validates every event reference against the topology and
+    expands the seeded stochastic stream into its concrete, bit-reproducible
+    events (see ``docs/faults.md``).
+
 ``python -m repro.cli sim sweep sweep.json [--workers 4] [--out result.json]``
     Expand a sweep spec (base scenario + parameter grid, e.g. a
     ``cluster.core_gbps`` oversubscription study) into independent cells and
@@ -70,7 +76,7 @@ from .experiments import (
     format_rows,
     run_trainer,
 )
-from .sim import diff_profiles, profile_scenario, run_scenario, run_sweep
+from .sim import diff_profiles, preview_faults, profile_scenario, run_scenario, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -159,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   "so before/after runs of an optimization are one command")
     sim_profile.add_argument("--policy", default=None, choices=["fifo", "fair"],
                              help="override the scheduling discipline, as for 'sim run'")
+    sim_faults = sim_sub.add_parser(
+        "faults", help="resolve and print a scenario's fault plan without running it "
+                       "(expands the seeded stochastic stream into concrete events)")
+    sim_faults.add_argument("scenario", help="path to the scenario JSON file")
+    sim_faults.add_argument("--out", default=None,
+                            help="write the resolved plan here instead of stdout")
+    sim_faults.add_argument("--policy", default=None, choices=["fifo", "fair"],
+                            help="override the scheduling discipline, as for 'sim run'")
     sim_sweep = sim_sub.add_parser("sweep", help="run a scenario parameter grid across workers")
     sim_sweep.add_argument("sweep", help="path to the sweep JSON file (scenario + grid)")
     sim_sweep.add_argument("--workers", type=int, default=None,
@@ -283,6 +297,8 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         return _cmd_sim_sweep(args)
     if args.sim_command == "profile":
         return _cmd_sim_profile(args)
+    if args.sim_command == "faults":
+        return _cmd_sim_faults(args)
     if args.trace:
         print("error: --trace was removed; use --trace-out TRACE_JSON to write the "
               "structured SimScope trace (Perfetto-viewable, one track per job and "
@@ -308,6 +324,22 @@ def _cmd_sim(args: argparse.Namespace) -> int:
               f"{report['num_jobs']} jobs, {report['num_trace_events']} events, "
               f"{perf.get('iterations_fast_forwarded', 0)} iterations fast-forwarded "
               f"({perf.get('cache_hit_rate', 0.0):.0%} cache hit rate)")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_sim_faults(args: argparse.Namespace) -> int:
+    try:
+        plan = preview_faults(args.scenario, default_policy=args.policy)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = json.dumps(plan, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}: {plan['num_events']} fault events")
     else:
         print(payload)
     return 0

@@ -21,6 +21,12 @@ sharing (:class:`FairShareTimeline`), selected by ``policy`` per resource.
 :func:`run_scenario` replays a plain-JSON scenario to a deterministic
 timeline/makespan report (the ``repro sim run`` CLI).
 
+Robustness scenarios come from the fault model (:mod:`repro.sim.faults`,
+``docs/faults.md``): correlated failure domains (machine/rack/ToR), mid-run
+link degradation with byte-conserving re-quotes, and spot capacity whose
+eviction notices trigger proactive checkpoints — driven by explicit scenario
+event lists or a seeded, bit-reproducible stochastic generator.
+
 Two performance layers keep the event backend fast (``docs/performance.md``):
 the engine memoizes the fully-resolved timing of every steady-state
 iteration and **fast-forwards** identical ones in O(1) — bit-identical to
@@ -63,6 +69,7 @@ from .resources import (
     SharedResource,
     build_timeline,
 )
+from .faults import FaultEvent, FaultPlan, apply_fault_plan, generate_fault_events, parse_faults
 from .sanitizer import (
     ByteConservationViolation,
     CausalityViolation,
@@ -83,7 +90,7 @@ from .observe import (
     diff_profiles,
     profile_scenario,
 )
-from .scenario import build_scenario, run_scenario
+from .scenario import build_scenario, preview_faults, run_scenario
 from .scheduler import ClusterScheduler, JobRecord, SchedulerResult, SimJob
 from .simtime import TIME_EPS, time_geq, time_leq, times_close
 from .sweep import build_cells, expand_grid, run_sweep, shutdown_pool
@@ -122,6 +129,12 @@ __all__ = [
     "build_timeline",
     "build_scenario",
     "run_scenario",
+    "preview_faults",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_faults",
+    "generate_fault_events",
+    "apply_fault_plan",
     "build_cells",
     "expand_grid",
     "run_sweep",

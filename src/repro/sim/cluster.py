@@ -214,6 +214,30 @@ class Cluster:
             raise KeyError(f"unknown machine {machine!r}; known: {sorted(self._machine_tor)}")
         return self._machine_tor[machine]
 
+    def machines_on_tor(self, tor_index: int) -> List[Machine]:
+        """Machines uplinked to ToR switch ``tor_index``, in machine order.
+
+        The rack is the correlated failure domain the fault model takes down
+        atomically — a rack failure hits every GPU on these machines plus
+        the ToR's uplink resource.  ``KeyError`` for an out-of-range index,
+        matching :meth:`tor_index`'s contract.
+        """
+        tor_index = int(tor_index)
+        if not 0 <= tor_index < self.spec.num_tor_switches:
+            raise KeyError(f"unknown ToR index {tor_index!r}; cluster has "
+                           f"{self.spec.num_tor_switches} ToR switches")
+        return [machine for machine in self.machines
+                if self._machine_tor[machine.name] == tor_index]
+
+    def gpus_on_machine(self, machine: str) -> List[GPUDevice]:
+        """GPUs resident on ``machine`` in local-index order (``KeyError`` if unknown)."""
+        machine = str(machine)
+        for candidate in self.machines:
+            if candidate.name == machine:
+                return candidate.gpus()
+        raise KeyError(f"unknown machine {machine!r}; known: "
+                       f"{sorted(m.name for m in self.machines)}")
+
     def links_crossed(self, workers: List[GPUDevice]) -> List[str]:
         """Per-ToR fabric resources a worker set's all-reduce traverses.
 

@@ -525,7 +525,7 @@ class EventDrivenEngine:
         if self.memoize and trace is None:
             key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
                                   policy, include_reference_overhead, comm_seconds_per_byte,
-                                  link_names)
+                                  link_names, link_timelines)
             entry = self._cache.get(key)
             if entry is not None and all(t.busy_until <= start_time for t in link_timelines):
                 if self.sanitizer is not None and self.sanitizer.should_spot_check():
@@ -564,7 +564,8 @@ class EventDrivenEngine:
                    worker_list: List[WorkerLike], frozen_prefix: int, cached_fp: bool,
                    policy: str, include_reference_overhead: bool,
                    comm_seconds_per_byte: Optional[float],
-                   link_names: Tuple[str, ...]) -> Tuple:
+                   link_names: Tuple[str, ...],
+                   link_timelines: Sequence[BaseResourceTimeline] = ()) -> Tuple:
         """The complete dynamics state a memoized iteration is keyed on."""
         return (
             cost_model.fingerprint(),
@@ -580,6 +581,9 @@ class EventDrivenEngine:
             include_reference_overhead,
             comm_seconds_per_byte,
             link_names,
+            # Effective link capacities: a mid-run set_capacity (degraded
+            # link) must not replay entries priced at the old rate.
+            tuple(t.capacity_gbps for t in link_timelines),
         )
 
     def can_fast_forward(self, cost_model: CostModel,
@@ -609,7 +613,7 @@ class EventDrivenEngine:
         link_names, link_timelines = self._resolve_links(link_resource)
         key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
                               policy, include_reference_overhead, comm_seconds_per_byte,
-                              link_names)
+                              link_names, link_timelines)
         entry = self._cache.get(key)
         if entry is None or not all(t.busy_until <= start_time for t in link_timelines):
             return None
@@ -645,7 +649,7 @@ class EventDrivenEngine:
         link_names, link_timelines = self._resolve_links(link_resource)
         key = self._cache_key(cost_model, names, worker_list, frozen_prefix, cached_fp,
                               policy, include_reference_overhead, comm_seconds_per_byte,
-                              link_names)
+                              link_names, link_timelines)
         results: List[EngineIterationResult] = []
         start = start_time
         for _ in range(count):
@@ -693,15 +697,19 @@ class EventDrivenEngine:
 
         The cached link reservations are re-committed at their translated
         absolute times — the same ``start_time + rel`` arithmetic the live
-        loop performs — so per-link byte audits and the delays later jobs
-        experience are exactly what an event-by-event simulation would have
-        produced.
+        loop performs, including its anti-self-contention clamp to the
+        previous window's committed end — so per-link byte audits and the
+        delays later jobs experience are exactly what an event-by-event
+        simulation would have produced.
         """
         self.iterations_fast_forwarded += 1
+        own_link_ends = [0.0] * len(link_timelines)
         for link_index, rel_request, seconds, num_bytes in entry.reservations:
-            link_timelines[link_index].reserve(start_time + rel_request, seconds,
-                                               num_bytes=num_bytes, job=job_name,
-                                               kind="allreduce", weight=job_weight)
+            request = max(start_time + rel_request, own_link_ends[link_index])
+            _start, end = link_timelines[link_index].reserve(request, seconds,
+                                                             num_bytes=num_bytes, job=job_name,
+                                                             kind="allreduce", weight=job_weight)
+            own_link_ends[link_index] = end
         return self._materialize(entry, names, start_time)
 
     def _spot_check(self, entry: _FastForwardEntry, cost_model: CostModel,
@@ -765,6 +773,9 @@ class EventDrivenEngine:
         comm_busy_total = 0.0
         comm_end = 0.0
         reservations: List[Tuple[int, float, float, int]] = []
+        #: Per-link end of this iteration's own most recent committed window
+        #: (the anti-self-contention clamp in start_next_bucket).
+        own_link_ends = [0.0] * len(link_timelines)
         cacheable = True
 
         def record(event: SimEvent) -> None:
@@ -809,14 +820,26 @@ class EventDrivenEngine:
                 num_bytes = cost_model.module_gradient_bytes(cost_model.layer_modules[module_index])
                 abs_request = start_time + now
                 for link_index, timeline in enumerate(link_timelines):
+                    # Floor at the link's *effective* capacity so a degraded
+                    # link (set_capacity) stretches occupancy immediately.
                     link_seconds = max(transmit, CostModel.transfer_seconds_at(
-                        num_bytes, timeline.resource.bandwidth_gbps))
-                    link_start, link_end = timeline.reserve(abs_request, link_seconds,
+                        num_bytes, timeline.capacity_gbps))
+                    # Clamp to this iteration's own previous window on the
+                    # link: the loop serializes its buckets, so the link is
+                    # genuinely free of our traffic at `now`, but with
+                    # start_time != 0 the sum start_time + now can land one
+                    # ULP before the committed end of the previous window
+                    # ((a + b) + c vs a + (b + c)) and falsely classify the
+                    # request as self-contended, leaking absolute-time
+                    # rounding into the relative loop.
+                    request = max(abs_request, own_link_ends[link_index])
+                    link_start, link_end = timeline.reserve(request, link_seconds,
                                                             num_bytes=num_bytes, job=job_name,
                                                             kind="allreduce", weight=job_weight)
+                    own_link_ends[link_index] = link_end
                     reservations.append((link_index, now, link_seconds, num_bytes))
                     # simlint: disable=SIM004 -- bit-exact equality is the memoization contract: a window is steady-state (cacheable) only when the timeline reproduced the request verbatim, so tolerance would admit near-miss windows and break bit-identical fast-forward replay
-                    if link_start == abs_request and link_end == abs_request + link_seconds:
+                    if link_start == request and link_end == request + link_seconds:
                         end = max(end, now + link_seconds)
                     else:
                         # Contended: another job's traffic delayed (FIFO) or

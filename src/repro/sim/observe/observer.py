@@ -44,13 +44,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine attaches us)
 __all__ = ["SimObserver"]
 
 #: Scheduler event kinds that put a job (back) into the pending queue.
-_ENQUEUE_KINDS = ("arrival", "job_failed", "job_resumed")
+#: ``job_failed``/``job_evicted`` only enqueue immediately when no restart
+#: backoff delays them, but the queue-wait span is still measured from the
+#: failure instant — the backoff delay *is* queueing the job experiences.
+_ENQUEUE_KINDS = ("arrival", "job_failed", "job_resumed", "job_evicted")
 
 #: Scheduler event kinds that invalidate the job's in-flight iteration.
-_INVALIDATE_KINDS = ("job_failed", "job_preempted", "resize")
+_INVALIDATE_KINDS = ("job_failed", "job_preempted", "resize", "job_evicted")
 
 #: Scheduler event kinds keyed by ``gpu`` rather than ``job``.
-_GPU_KINDS = ("set_speed", "gpu_failure", "gpu_recovered", "gpu_recover_ignored")
+_GPU_KINDS = ("set_speed", "gpu_failure", "gpu_recovered", "gpu_recover_ignored",
+              "spot_notice", "spot_evicted")
+
+#: Fault-model event kinds keyed by ``resource`` (shown on its track).
+_RESOURCE_KINDS = ("link_degraded", "link_restored", "tor_failure", "tor_recovered")
+
+#: Fault-model event kinds keyed by domain ``label`` (cluster track).
+_DOMAIN_KINDS = ("domain_failure", "domain_recovered")
+
+#: Fault-model kinds counted as ``faults.<kind>`` metrics.  Only the new
+#: structured-fault kinds — the legacy single-GPU failure kinds keep their
+#: historical (counter-free) metrics output byte-identical.
+_FAULT_COUNTER_KINDS = ("domain_failure", "domain_recovered", "link_degraded",
+                        "link_restored", "tor_failure", "tor_recovered",
+                        "spot_notice", "spot_evicted", "job_evicted",
+                        "proactive_checkpoint", "restart_backoff")
 
 
 class SimObserver:
@@ -151,10 +169,18 @@ class SimObserver:
             self._iterations = [entry for entry in self._iterations
                                 if not (entry[0] == job and entry[1].end_time > time
                                         and entry[1].start_time <= time)]
+        if self.metrics is not None and kind in _FAULT_COUNTER_KINDS:
+            self.metrics.counter_add(f"faults.{kind}", time, 1.0)
         if self.tracer is not None:
             gpu = payload.get("gpu")
+            resource = payload.get("resource")
+            label_value = payload.get("label")
             if kind in _GPU_KINDS and isinstance(gpu, str):
                 self.tracer.instant("cluster", gpu, kind, time, payload)
+            elif kind in _RESOURCE_KINDS and isinstance(resource, str):
+                self.tracer.instant("resource", resource, kind, time, payload)
+            elif kind in _DOMAIN_KINDS and isinstance(label_value, str):
+                self.tracer.instant("cluster", label_value, kind, time, payload)
             else:
                 label = str(job) if isinstance(job, str) else "<scheduler>"
                 self.tracer.instant("job", label, kind, time, payload)

@@ -177,6 +177,13 @@ class BaseResourceTimeline:
         self._records: List[ResourceOccupancy] = []
         self._busy_until = 0.0
         self._seq = 0
+        # Effective capacity, mutable mid-run by set_capacity() (degraded
+        # links).  While it equals the nominal bandwidth the timeline is
+        # bit-identical to earlier revisions; the change log is kept in
+        # absolute sim time so piecewise integration stays exact.
+        self._capacity_gbps = resource.bandwidth_gbps
+        self._cap_changes: List[Tuple[float, float]] = []
+        self._cap_times: List[float] = []
         #: Optional :class:`~repro.sim.sanitizer.SimSanitizer` notified on
         #: every reserve/cancel (attached by the pool; ``None`` = plain run).
         self.sanitizer: Optional[SimSanitizer] = None
@@ -189,6 +196,71 @@ class BaseResourceTimeline:
     def busy_until(self) -> float:
         """Latest committed window end (0.0 while the timeline is empty)."""
         return self._busy_until
+
+    @property
+    def capacity_gbps(self) -> float:
+        """Current effective capacity (nominal until :meth:`set_capacity`)."""
+        return self._capacity_gbps
+
+    def capacity_profile(self) -> Tuple[Tuple[float, float], ...]:
+        """``(at_time, factor)`` capacity change points, factor of nominal.
+
+        Empty while the capacity never changed — the common case callers use
+        to short-circuit profile-aware arithmetic back to the exact legacy
+        expressions.
+        """
+        nominal = self.resource.bandwidth_gbps
+        return tuple((at_time, gbps / nominal) for at_time, gbps in self._cap_changes)
+
+    def set_capacity(self, at_time: float, gbps: float) -> None:
+        """Change the effective capacity at ``at_time``, resweeping the open
+        busy period (transfers in flight or queued re-quote byte-conservingly
+        from the change instant).  Discipline-specific."""
+        raise NotImplementedError
+
+    def _note_capacity_change(self, at_time: float, gbps: float) -> Tuple[float, float]:
+        """Validate and log a capacity change; returns ``(old, new)`` gbps.
+
+        Changes must be time-ordered (the scheduler applies them from its
+        event heap, which guarantees it) and strictly positive — a dead link
+        is modelled as a tiny positive floor, never zero, so every quote
+        stays finite.
+        """
+        at_time = float(at_time)
+        gbps = float(gbps)
+        name = self.resource.name
+        if gbps <= 0:
+            raise ValueError(f"resource {name!r}: capacity must be positive, got {gbps}")
+        if at_time < 0:
+            raise ValueError(f"resource {name!r}: capacity change time must be >= 0")
+        if self._cap_times and at_time < self._cap_times[-1]:
+            raise ValueError(
+                f"resource {name!r}: capacity changes must be applied in time order "
+                f"(got {at_time} after {self._cap_times[-1]})")
+        old = self._capacity_gbps
+        self._capacity_gbps = gbps
+        self._cap_changes.append((at_time, gbps))
+        self._cap_times.append(at_time)
+        return old, gbps
+
+    def transfer_seconds(self, num_bytes: int, cap_gbps: Optional[float] = None) -> float:
+        """Uncontended time to move ``num_bytes`` at the *current* capacity.
+
+        Matches :meth:`SharedResource.transfer_seconds` bit-for-bit while the
+        capacity equals the nominal bandwidth; after a :meth:`set_capacity`
+        new quotes price at the degraded (or restored) rate.  ``cap_gbps``
+        bounds the effective bandwidth from the endpoint side, as before.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        bandwidth = self._quote_gbps()
+        if cap_gbps is not None:
+            bandwidth = min(bandwidth, float(cap_gbps))
+        return self.resource.latency_seconds + CostModel.transfer_seconds_at(num_bytes, bandwidth)
+
+    def _quote_gbps(self) -> float:
+        """Bandwidth new reservations are priced at (discipline-specific)."""
+        return self._capacity_gbps
 
     @property
     def records(self) -> Tuple[ResourceOccupancy, ...]:
@@ -213,8 +285,8 @@ class BaseResourceTimeline:
     def reserve_bytes(self, earliest_start: float, num_bytes: int, job: Optional[str] = None,
                       kind: str = "transfer", cap_gbps: Optional[float] = None,
                       weight: float = 1.0) -> Tuple[float, float]:
-        """Reserve a transfer priced by the resource's own bandwidth (and ``cap_gbps``)."""
-        seconds = self.resource.transfer_seconds(num_bytes, cap_gbps=cap_gbps)
+        """Reserve a transfer priced by the timeline's current capacity (and ``cap_gbps``)."""
+        seconds = self.transfer_seconds(num_bytes, cap_gbps=cap_gbps)
         return self.reserve(earliest_start, seconds, num_bytes=num_bytes, job=job, kind=kind,
                             weight=weight)
 
@@ -389,6 +461,59 @@ class ResourceTimeline(BaseResourceTimeline):
         if self.sanitizer is not None:
             self.sanitizer.note_cancelled(self)
         return cancelled
+
+    def set_capacity(self, at_time: float, gbps: float) -> None:
+        """Change the link's effective capacity at ``at_time``.
+
+        The open busy period is resweeped byte-conservingly from the change
+        instant:
+
+        * windows fully closed by ``at_time`` keep their committed slots (the
+          bytes were on the wire at the old rate);
+        * the (at most one — FIFO windows are disjoint) window straddling
+          ``at_time`` keeps its start, and its **remaining** span re-quotes
+          at the new rate: ``new_end = at_time + (end - at_time) * old/new``
+          — exact piecewise integration of the bytes still to move;
+        * windows that had not started by ``at_time`` re-quote their full
+          duration by the same ratio and re-flow first-fit in committed
+          ``(start, seq)`` order at ``max(earliest_start, at_time)``, the
+          same replay the cancellation path uses.
+
+        The fixed per-transfer latency share of a window scales with the
+        ratio too — a documented approximation (see ``docs/faults.md``) that
+        keeps the resweep a single exact multiply.  New quotes after the
+        change price at the new rate via :meth:`transfer_seconds`.  Payload
+        bytes are untouched, so the sanitizer's byte ledger still balances.
+        """
+        old, new = self._note_capacity_change(at_time, gbps)
+        ratio = old / new
+        closed: List[ResourceOccupancy] = []
+        queued: List[ResourceOccupancy] = []
+        for record in self._records:
+            if record.end <= at_time:
+                closed.append(record)
+            elif record.start < at_time:
+                new_end = at_time + (record.end - at_time) * ratio
+                closed.append(ResourceOccupancy(record.start, new_end, record.num_bytes,
+                                                record.job, record.kind,
+                                                earliest_start=record.earliest_start,
+                                                seq=record.seq))
+            else:
+                queued.append(record)
+        queued.sort(key=lambda r: (r.start, r.seq))
+        self._records = sorted(closed, key=lambda r: (r.start, r.seq))
+        self._starts = [r.start for r in self._records]
+        self._busy_until = max((r.end for r in self._records), default=0.0)
+        for record in queued:
+            seconds = record.seconds * ratio
+            earliest = max(record.earliest_start, at_time)
+            start = self._first_fit(earliest, seconds)
+            self._insert(ResourceOccupancy(start, start + seconds, record.num_bytes,
+                                           record.job, record.kind,
+                                           earliest_start=record.earliest_start,
+                                           seq=record.seq))
+        if self.sanitizer is not None:
+            self.sanitizer.note_capacity(self, at_time, old, new)
 
 
 @dataclass
@@ -690,6 +815,88 @@ class FairShareTimeline(BaseResourceTimeline):
             "bytes_by_kind": dict(sorted(self.bytes_by_kind().items())),
         }
 
+    def _quote_gbps(self) -> float:
+        """Fair-share demand is priced at the *nominal* bandwidth.
+
+        Under processor sharing a capacity change degrades the service rate
+        of every active transfer over time — the integrator applies the
+        factor (see :meth:`_end_time`), so pricing demand at the effective
+        rate too would double-count the degradation.
+        """
+        return self.resource.bandwidth_gbps
+
+    def set_capacity(self, at_time: float, gbps: float) -> None:
+        """Change the effective capacity at ``at_time``.
+
+        The processor-sharing fluid model handles this exactly: demand is
+        stored in nominal capacity-seconds and the integrator drains it at
+        ``factor(t)`` (effective/nominal) nominal-units per second, so a
+        capacity change is one more breakpoint in the piecewise-constant
+        rate.  The whole admitted history is re-integrated against the new
+        profile (an out-of-order admission behind a change point replays
+        correctly afterwards because the profile is indexed by absolute sim
+        time); service already rendered before ``at_time`` is untouched
+        because the factors before the change point are unchanged.  The
+        transfers' sharing fractions (``weight / sum(weights)``) are
+        capacity-independent, so relative fairness is preserved.
+        """
+        old, new = self._note_capacity_change(at_time, gbps)
+        self._replay_all()
+        if self.sanitizer is not None:
+            self.sanitizer.note_capacity(self, at_time, old, new)
+
+    def _end_time(self, now: float, work: float) -> float:
+        """Absolute completion time of ``work`` nominal capacity-seconds
+        served from ``now`` under the capacity profile.
+
+        With no capacity changes this is exactly ``now + work`` — the legacy
+        expression, bit-for-bit — otherwise the piecewise-constant factor is
+        integrated segment by segment.
+        """
+        if not self._cap_changes:
+            return now + work
+        if work <= 0.0:
+            return now
+        nominal = self.resource.bandwidth_gbps
+        index = bisect.bisect_right(self._cap_times, now)
+        time = now
+        left = work
+        while True:
+            factor = (self._cap_changes[index - 1][1] / nominal) if index > 0 else 1.0
+            if index >= len(self._cap_times):
+                return time + left / factor
+            boundary = self._cap_times[index]
+            segment_work = (boundary - time) * factor
+            if segment_work >= left:
+                return time + left / factor
+            left -= segment_work
+            time = boundary
+            index += 1
+
+    def _work(self, now: float, target: float) -> float:
+        """Nominal capacity-seconds the resource serves over ``[now, target]``.
+
+        The inverse of :meth:`_end_time`: with no capacity changes exactly
+        ``target - now`` (the legacy expression), otherwise the integral of
+        the piecewise-constant factor over the interval.
+        """
+        if not self._cap_changes:
+            return target - now
+        if target <= now:
+            return 0.0
+        nominal = self.resource.bandwidth_gbps
+        index = bisect.bisect_right(self._cap_times, now)
+        time = now
+        served = 0.0
+        while time < target:
+            factor = (self._cap_changes[index - 1][1] / nominal) if index > 0 else 1.0
+            boundary = self._cap_times[index] if index < len(self._cap_times) else target
+            upto = min(boundary, target)
+            served += (upto - time) * factor
+            time = upto
+            index += 1
+        return served
+
     def transfer_schedule(self) -> Tuple[Tuple[float, float, float, float], ...]:
         """``(arrival, end, demand, weight)`` rows of the current schedule.
 
@@ -723,7 +930,7 @@ class FairShareTimeline(BaseResourceTimeline):
                 # Sole active transfer: full line rate regardless of weight
                 # (work conservation), and exact arithmetic.
                 (solo_seq,) = remaining
-                finish = now + remaining[solo_seq]
+                finish = self._end_time(now, remaining[solo_seq])
                 if finish <= target:
                     del remaining[solo_seq]
                     del weights[solo_seq]
@@ -731,12 +938,12 @@ class FairShareTimeline(BaseResourceTimeline):
                     self._done_max_end = max(self._done_max_end, finish)
                     now = finish
                     continue
-                remaining[solo_seq] -= target - now
+                remaining[solo_seq] -= self._work(now, target)
                 break
             total_weight = sum(weights[seq] for seq in remaining)
             ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
             min_ratio = min(ratios.values())
-            finish = now + min_ratio * total_weight
+            finish = self._end_time(now, min_ratio * total_weight)
             if finish <= target:
                 done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
                 for seq in list(remaining):
@@ -748,9 +955,9 @@ class FairShareTimeline(BaseResourceTimeline):
                 self._done_max_end = max(self._done_max_end, finish)
                 now = finish
             else:
-                elapsed = target - now
+                served = self._work(now, target)
                 for seq in list(remaining):
-                    remaining[seq] -= elapsed * weights[seq] / total_weight
+                    remaining[seq] -= served * weights[seq] / total_weight
                 break
         # Drained before target (idle gap) or stopped exactly at it: either
         # way the frontier now sits at the arrival about to be admitted.
@@ -818,7 +1025,7 @@ class FairShareTimeline(BaseResourceTimeline):
         while remaining:
             if len(remaining) == 1:
                 (solo_seq,) = remaining
-                finish = now + remaining[solo_seq]
+                finish = self._end_time(now, remaining[solo_seq])
                 del remaining[solo_seq]
                 self._ends[solo_seq] = finish
                 max_end = finish
@@ -827,7 +1034,7 @@ class FairShareTimeline(BaseResourceTimeline):
             total_weight = sum(weights[seq] for seq in remaining)
             ratios = {seq: left / weights[seq] for seq, left in remaining.items()}
             min_ratio = min(ratios.values())
-            finish = now + min_ratio * total_weight
+            finish = self._end_time(now, min_ratio * total_weight)
             done = [seq for seq, ratio in ratios.items() if ratio == min_ratio]
             for seq in list(remaining):
                 remaining[seq] -= min_ratio * weights[seq]

@@ -224,6 +224,21 @@ class SimSanitizer:
         self._watermark[name] = timeline.busy_until
         self.verify_timeline(timeline)
 
+    def note_capacity(self, timeline: object, at_time: float, old_gbps: float,
+                      new_gbps: float) -> None:
+        """Resync after a ``set_capacity``: the open busy period re-quoted.
+
+        A capacity *increase* may legally shrink ``busy_until`` (remaining
+        transfers finish sooner), so the watermark resynchronizes like after
+        a cancel; payload bytes are untouched, so the byte ledger must still
+        balance — :meth:`verify_timeline` asserts it immediately.
+        """
+        name = timeline.resource.name
+        self.note("set_capacity", resource=name, at_time=at_time,
+                  old_gbps=old_gbps, new_gbps=new_gbps)
+        self._watermark[name] = timeline.busy_until
+        self.verify_timeline(timeline)
+
     # ------------------------------------------------------------------ #
     # Timeline audits
     # ------------------------------------------------------------------ #
@@ -251,18 +266,51 @@ class SimSanitizer:
                         f"bytes {quoted} (windows dropped or duplicated)")
         schedule = getattr(timeline, "transfer_schedule", None)
         if schedule is not None:
-            self._verify_fair_rates(name, schedule())
+            profile = getattr(timeline, "capacity_profile", None)
+            self._verify_fair_rates(name, schedule(),
+                                    profile() if profile is not None else ())
+
+    @staticmethod
+    def _profile_capacity(profile: Tuple[Tuple[float, float], ...],
+                          start: float, end: float) -> float:
+        """Nominal capacity-seconds a resource serves over ``[start, end]``.
+
+        ``profile`` is the timeline's ``(at_time, factor-of-nominal)`` change
+        log; the factor is 1.0 before the first change point.  The integral
+        of the piecewise-constant factor bounds how much fair-share demand
+        can legally complete inside the window.
+        """
+        if end <= start:
+            return 0.0
+        capacity = 0.0
+        time = start
+        factor = 1.0
+        for at_time, new_factor in profile:
+            if at_time <= start:
+                factor = new_factor
+                continue
+            if at_time >= end:
+                break
+            capacity += (at_time - time) * factor
+            time = at_time
+            factor = new_factor
+        capacity += (end - time) * factor
+        return capacity
 
     def _verify_fair_rates(self, name: str,
-                           schedule: Tuple[Tuple[float, float, float, float], ...]) -> None:
+                           schedule: Tuple[Tuple[float, float, float, float], ...],
+                           profile: Tuple[Tuple[float, float], ...] = ()) -> None:
         """Feasibility check of a processor-sharing schedule.
 
         Capacity-seconds are conserved iff for every window ``[S, T]`` the
         total demand of transfers that both arrive at/after ``S`` and
-        complete by ``T`` fits in ``T - S`` — otherwise the active rates
-        summed past the line rate somewhere inside the window.  Candidate
-        ``S`` are arrival times (down-sampled deterministically on huge
-        schedules), candidate ``T`` every completion.
+        complete by ``T`` fits in the capacity the window holds — ``T - S``
+        at nominal rate, or the integral of the capacity ``profile`` when
+        mid-run ``set_capacity`` changes degraded/restored the resource —
+        otherwise the active rates summed past the line rate somewhere
+        inside the window.  Candidate ``S`` are arrival times (down-sampled
+        deterministically on huge schedules), candidate ``T`` every
+        completion.
         """
         if not schedule:
             return
@@ -277,13 +325,16 @@ class SimSanitizer:
                 if arrival < start_bound:
                     continue
                 demand_inside += demand
-                window = end - start_bound
+                if profile:
+                    window = self._profile_capacity(profile, start_bound, end)
+                else:
+                    window = end - start_bound
                 if demand_inside > window * (1.0 + 1e-9) + TIME_EPS:
                     self._raise(RateConservationViolation,
                                 f"resource {name!r}: {demand_inside!r} capacity-"
                                 f"seconds completed inside [{start_bound!r}, "
-                                f"{end!r}] ({window!r}s) — active rates exceed "
-                                f"capacity")
+                                f"{end!r}] ({window!r} capacity-seconds) — "
+                                f"active rates exceed capacity")
 
     def verify_pool(self, pool: object) -> None:
         """Audit every timeline in a resource pool (end-of-run check)."""

@@ -36,8 +36,18 @@ Scenario schema (all keys optional unless noted)::
       "failures":    [{"gpu": "node0:gpu0", "at_time": 1.0, "recover_at": null}],
       "resizes":     [{"job": "a", "delta": -2, "at_time": 1.0}],
       "preemptions": [{"job": "a", "at_time": 1.0}],
-      "resumes":     [{"job": "a", "at_time": 2.0}]
+      "resumes":     [{"job": "a", "at_time": 2.0}],
+      "faults":      {"events": [...], "spot": {...}, "backoff": {...},
+                      "seed": 7, "mttf_seconds": 5.0, ...}
     }
+
+The ``faults`` key drives the structured fault model — correlated failure
+domains (machine/rack/ToR), degraded links and spot eviction with proactive
+checkpoints — via explicit event lists and/or a seeded stochastic stream;
+see :mod:`repro.sim.faults` and ``docs/faults.md`` for the full schema.
+Every fault-event reference (GPU/machine/resource names, recovery ordering)
+is validated here at build time with a pointed error, as is
+resume-before-preempt ordering in the ``resumes`` list.
 
 Jobs take their cost model either from a named experiment workload
 (``workload``/``scale``) or from an explicit ``modules`` list of per-module
@@ -81,13 +91,14 @@ from typing import Dict, List, Optional, Union, TYPE_CHECKING
 from .cluster import Cluster, ClusterSpec
 from .cost_model import CostModel
 from .engine import EventDrivenEngine
+from .faults import apply_fault_plan, parse_faults
 from .resources import SharedResource
 from .scheduler import ClusterScheduler, SimJob
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .observe import SimObserver
 
-__all__ = ["build_scenario", "run_scenario"]
+__all__ = ["build_scenario", "run_scenario", "preview_faults"]
 
 _CLUSTER_KEYS = {"num_machines", "gpus_per_machine", "nic_gbps", "tor_uplink_gbps",
                  "num_tor_switches", "num_core_switches", "fabric_gbps", "storage_gbps",
@@ -99,7 +110,7 @@ _JOB_KEYS = {"name", "workload", "scale", "modules", "batch_size", "num_workers"
              "storage", "link", "async_checkpoint", "weight"}
 _SCENARIO_KEYS = {"cluster", "resources", "placement", "seed", "jobs",
                   "gpu_speeds", "failures", "resizes", "preemptions", "resumes",
-                  "memoize", "sanitize", "observe", "batch_fast_forward"}
+                  "faults", "memoize", "sanitize", "observe", "batch_fast_forward"}
 _OBSERVE_KEYS = {"trace", "metrics"}
 
 
@@ -223,11 +234,62 @@ def build_scenario(spec: Dict, default_policy: Optional[str] = None) -> ClusterS
                                  recover_at=None if recover_at is None else float(recover_at))
     for knob in spec.get("resizes") or []:
         scheduler.resize_job(knob["job"], int(knob["delta"]), at_time=float(knob["at_time"]))
+    first_preempt: Dict[str, float] = {}
     for knob in spec.get("preemptions") or []:
-        scheduler.preempt_job(knob["job"], at_time=float(knob["at_time"]))
+        at_time = float(knob["at_time"])
+        job_name = str(knob["job"])
+        if job_name not in first_preempt or at_time < first_preempt[job_name]:
+            first_preempt[job_name] = at_time
+        scheduler.preempt_job(job_name, at_time=at_time)
     for knob in spec.get("resumes") or []:
-        scheduler.resume_job(knob["job"], at_time=float(knob["at_time"]))
+        at_time = float(knob["at_time"])
+        job_name = str(knob["job"])
+        # Resume-before-preempt is a scenario bug: the event would pop first
+        # and be ignored, silently leaving the job paused forever.
+        if job_name not in first_preempt:
+            raise ValueError(f"resume of job {job_name!r} at {at_time} has no "
+                             f"matching entry in 'preemptions'")
+        if at_time <= first_preempt[job_name]:
+            raise ValueError(f"resume of job {job_name!r} at {at_time} must come "
+                             f"after its first preemption at {first_preempt[job_name]}")
+        scheduler.resume_job(job_name, at_time=at_time)
+    faults_spec = spec.get("faults")
+    if faults_spec is not None:
+        apply_fault_plan(scheduler, parse_faults(dict(faults_spec), cluster))
     return scheduler
+
+
+def preview_faults(scenario: Union[str, Dict],
+                   default_policy: Optional[str] = None) -> Dict[str, object]:
+    """Resolve a scenario's fault plan without running it (``repro sim faults``).
+
+    Builds the cluster, parses/validates the ``"faults"`` key — expanding
+    the seeded stochastic stream into its concrete events — and returns the
+    plan as plain data, so a fault storm can be inspected (or diffed across
+    seeds) before committing to a full run.
+    """
+    if isinstance(scenario, str):
+        with open(scenario, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    else:
+        spec = dict(scenario)
+    _check_keys(spec, _SCENARIO_KEYS, "scenario")
+    cluster_spec = dict(spec.get("cluster") or {})
+    _check_keys(cluster_spec, _CLUSTER_KEYS, "cluster")
+    if default_policy is not None:
+        cluster_spec.setdefault("fabric_policy", default_policy)
+        cluster_spec.setdefault("storage_policy", default_policy)
+    cluster = Cluster(ClusterSpec(**cluster_spec))
+    for resource_spec in spec.get("resources") or []:
+        resource_spec = dict(resource_spec)
+        _check_keys(resource_spec, _RESOURCE_KEYS, "resource")
+        cluster.add_resource(SharedResource(**resource_spec))
+    plan = parse_faults(dict(spec.get("faults") or {}), cluster)
+    return {"cluster": {"machines": len(cluster.machines),
+                        "gpus": len(cluster.all_gpus()),
+                        "per_tor_fabric": cluster.has_per_tor_fabric},
+            "num_events": len(plan.events),
+            **plan.as_dict()}
 
 
 def run_scenario(scenario: Union[str, Dict], include_trace: bool = False,

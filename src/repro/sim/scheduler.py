@@ -27,6 +27,15 @@ scenarios the closed-form model cannot express become one-liners:
   and re-queue a job.  Victims restart from their last periodic checkpoint
   (``SimJob.checkpoint_every``) or from scratch without one, with
   checkpoint/restore costs charged through the cost model and engine.
+* **Structured fault model** — beyond single-GPU failures, correlated
+  failure domains (:meth:`fail_machine` / :meth:`fail_rack` /
+  :meth:`fail_tor`), mid-run link degradation (:meth:`degrade_link`) and
+  spot capacity with eviction notices (:meth:`mark_preemptible` /
+  :meth:`evict_spot`) — a notice triggers a *proactive* checkpoint so the
+  resume loses at most the notice window — plus a capped-exponential
+  restart backoff (:meth:`set_restart_backoff`).  :mod:`repro.sim.faults`
+  drives these knobs from scenario event lists or a seeded stochastic
+  generator (see ``docs/faults.md``).
 * **Shared-resource contention** — multi-machine jobs queue their gradient
   buckets on the cluster's named fabric link(s) and all jobs queue their
   checkpoint writes / restore reads on the named storage resource
@@ -68,6 +77,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union, TYPE_
 from .cluster import Cluster, GPUDevice
 from .cost_model import CostModel
 from .engine import EventDrivenEngine
+from .simtime import times_close
 from .timeline import SchedulePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
@@ -222,6 +232,9 @@ class JobRecord:
     restore_bytes_read: int = 0
     preemptions: int = 0
     failures: int = 0
+    #: Spot-capacity evictions (counted separately from hard ``failures`` so
+    #: reliability dashboards can tell voluntary reclaims from crashes).
+    evictions: int = 0
     #: Live per-iteration training history (loss, frozen fraction) for
     #: trainer-backed jobs; ``None`` for cost-model-only jobs, which keeps
     #: their serialized records byte-identical to earlier revisions.
@@ -269,6 +282,7 @@ class JobRecord:
             "restore_bytes_read": self.restore_bytes_read,
             "preemptions": self.preemptions,
             "failures": self.failures,
+            "evictions": self.evictions,
         }
         if self.history is not None:
             view["loss_series"] = self.history.losses()
@@ -338,6 +352,11 @@ class ClusterScheduler:
 
     PLACEMENTS = ("fifo", "round_robin", "tor_pack")
 
+    #: Effective bandwidth a failed ToR uplink degrades to.  A dead link is
+    #: modelled as a tiny positive floor — never zero — so every transfer
+    #: quote stays finite and the piecewise-capacity integrals stay exact.
+    TOR_DOWN_GBPS = 1e-3
+
     def __init__(self, cluster: Cluster, engine: Optional[EventDrivenEngine] = None,
                  placement: str = "fifo", seed: int = 0,
                  batch_fast_forward: bool = True):
@@ -380,6 +399,17 @@ class ClusterScheduler:
         #: its GPUs so in-flight async checkpoint completions from the old
         #: placement are recognised as stale.
         self._placement_epoch: Dict[str, int] = {}
+        #: Spot-capacity state: preemptible GPUs (name -> eviction-notice
+        #: seconds), consecutive-failure counters for the capped-exponential
+        #: restart backoff, and the last proactive-checkpoint instant per job
+        #: (dedupes simultaneous notices hitting the same job).
+        self._preemptible: Dict[str, float] = {}
+        self._restart_count: Dict[str, int] = {}
+        self._last_proactive: Dict[str, float] = {}
+        #: ``(base_seconds, cap_seconds)`` capped-exponential restart backoff
+        #: for failed/evicted jobs; ``None`` (the default) re-queues
+        #: immediately, the historical behaviour.
+        self.restart_backoff: Optional[Tuple[float, float]] = None
         self.records: Dict[str, JobRecord] = {}
         self.gpu_busy_seconds: Dict[str, float] = {gpu.name: 0.0 for gpu in self._all_gpus}
         self.trace: List[Dict[str, object]] = []
@@ -473,6 +503,169 @@ class ClusterScheduler:
     def resume_job(self, job_name: str, at_time: float) -> None:
         """Move a preempted job back into the admission queue at ``at_time``."""
         self._push(at_time, "resume", (self._require_job(job_name),))
+
+    # ------------------------------------------------------------------ #
+    # Fault-model knobs: correlated domains, degraded links, spot capacity
+    # ------------------------------------------------------------------ #
+    def _require_machine(self, machine: str) -> str:
+        """Validate a machine name at call time (events must not fire into the void)."""
+        machine = str(machine)
+        if not any(m.name == machine for m in self.cluster.machines):
+            raise KeyError(f"unknown machine {machine!r}; known: "
+                           f"{sorted(m.name for m in self.cluster.machines)}")
+        return machine
+
+    @staticmethod
+    def _require_recovery(at_time: float, recover_at: Optional[float]) -> None:
+        """Shared ``recover_at`` ordering check for every domain-failure knob."""
+        if recover_at is not None and recover_at <= at_time:
+            raise ValueError("recover_at must come after at_time")
+
+    def fail_machine(self, machine: str, at_time: float,
+                     recover_at: Optional[float] = None) -> None:
+        """Take a whole machine down at ``at_time`` (optionally back up later).
+
+        A correlated failure domain: every resident GPU fails in the same
+        event, so a job packed onto the machine loses all its local workers
+        at once while spread placements lose only one worker per machine.
+        """
+        machine = self._require_machine(machine)
+        self._require_recovery(at_time, recover_at)
+        gpus = tuple(gpu.name for gpu in self.cluster.gpus_on_machine(machine))
+        self._push(at_time, "domain_fail", (machine, "machine", gpus))
+        if recover_at is not None:
+            self._push(recover_at, "domain_recover", (machine, "machine", gpus))
+
+    def fail_rack(self, tor_index: int, at_time: float,
+                  recover_at: Optional[float] = None) -> None:
+        """Fail rack ``tor_index``: every resident GPU plus the ToR uplink.
+
+        The largest correlated domain the topology declares.  All GPUs on
+        the rack's machines go down atomically and — when the cluster runs
+        in per-ToR fabric mode — the rack's uplink resource degrades to
+        :data:`TOR_DOWN_GBPS` until recovery, so surviving cross-rack jobs
+        that shared the uplink feel the outage too.  Blast radius therefore
+        depends on placement: ``tor_pack`` concentrates each job in one rack
+        (few jobs lost, whole jobs lost) while spread placements expose
+        every job to every rack.
+        """
+        tor_index = int(tor_index)
+        machines = self.cluster.machines_on_tor(tor_index)  # KeyError if unknown
+        self._require_recovery(at_time, recover_at)
+        label = f"rack{tor_index}"
+        gpus = tuple(gpu.name for machine in machines
+                     for gpu in self.cluster.gpus_on_machine(machine.name))
+        # Event order within each instant matters: the uplink goes down
+        # before the GPUs (so victims re-placed in the same sweep quote
+        # against the degraded link) and comes back up before the GPUs
+        # rejoin (so jobs re-placed onto the recovered rack quote at the
+        # restored rate, not the outage floor).
+        uplink = Cluster.tor_link_name(tor_index)
+        has_uplink = self.cluster.has_per_tor_fabric and uplink in self.engine.resources
+        if has_uplink:
+            self._push(at_time, "link_set_capacity",
+                       (uplink, self.TOR_DOWN_GBPS, "tor_down"))
+        self._push(at_time, "domain_fail", (label, "rack", gpus))
+        if recover_at is not None:
+            if has_uplink:
+                nominal = self.engine.resource_timeline(uplink).resource.bandwidth_gbps
+                self._push(recover_at, "link_set_capacity", (uplink, nominal, "tor_up"))
+            self._push(recover_at, "domain_recover", (label, "rack", gpus))
+
+    def fail_tor(self, tor_index: int, at_time: float,
+                 recover_at: Optional[float] = None) -> None:
+        """Fail only ToR switch ``tor_index``'s uplink at ``at_time``.
+
+        The rack's machines stay up but are effectively cut off from the
+        fabric: the uplink resource degrades to :data:`TOR_DOWN_GBPS`, so
+        cross-rack all-reduce and checkpoint traffic through it stalls while
+        rack-local single-machine jobs keep running — the failure mode that
+        rewards ``tor_pack`` placement.  Requires per-ToR fabric mode.
+        """
+        tor_index = int(tor_index)
+        self.cluster.machines_on_tor(tor_index)  # KeyError if unknown
+        self._require_recovery(at_time, recover_at)
+        uplink = Cluster.tor_link_name(tor_index)
+        if uplink not in self.engine.resources:
+            raise ValueError(f"fail_tor requires per-ToR fabric resources; "
+                             f"{uplink!r} is not registered on this cluster")
+        nominal = self.engine.resource_timeline(uplink).resource.bandwidth_gbps
+        self._push(at_time, "link_set_capacity", (uplink, self.TOR_DOWN_GBPS, "tor_down"))
+        if recover_at is not None:
+            self._push(recover_at, "link_set_capacity", (uplink, nominal, "tor_up"))
+
+    def degrade_link(self, resource: str, gbps: float, at_time: float,
+                     restore_at: Optional[float] = None) -> None:
+        """Drop shared resource ``resource`` to ``gbps`` at ``at_time``.
+
+        In-flight transfers on the resource re-quote byte-conservingly from
+        the change instant (:meth:`~repro.sim.resources.BaseResourceTimeline.
+        set_capacity`); iterations whose completion events were already
+        committed keep their quoted durations and the degraded rate takes
+        scheduler-visible effect from the next iteration boundary.
+        ``restore_at`` brings the resource back to its nominal bandwidth.
+        """
+        resource = str(resource)
+        timeline = self.engine.resource_timeline(resource)  # validates the name
+        if gbps <= 0:
+            raise ValueError("degraded capacity must be positive (use a small "
+                             "floor like 1e-3 Gbps for a dead link)")
+        self._require_recovery(at_time, restore_at)
+        self._push(at_time, "link_set_capacity", (resource, float(gbps), "degraded"))
+        if restore_at is not None:
+            self._push(restore_at, "link_set_capacity",
+                       (resource, timeline.resource.bandwidth_gbps, "restored"))
+
+    def mark_preemptible(self, gpu_names: Sequence[str],
+                         notice_seconds: float = 0.0) -> None:
+        """Mark GPUs as spot capacity with an eviction-notice window.
+
+        :meth:`evict_spot` on a marked GPU fires a ``spot_notice`` event
+        ``notice_seconds`` before the eviction so the resident job can write
+        a proactive checkpoint; ``0.0`` means evictions arrive unannounced.
+        """
+        if notice_seconds < 0:
+            raise ValueError("notice_seconds must be non-negative")
+        if isinstance(gpu_names, str):
+            gpu_names = [gpu_names]
+        for gpu_name in gpu_names:
+            self._preemptible[self._require_gpu(gpu_name)] = float(notice_seconds)
+
+    def evict_spot(self, gpu_name: str, at_time: float,
+                   rejoin_at: Optional[float] = None) -> None:
+        """Evict spot GPU ``gpu_name`` at ``at_time`` (optionally back later).
+
+        The GPU must have been :meth:`mark_preemptible`-ed.  With a notice
+        window configured, a ``spot_notice`` event fires first and the
+        resident job writes a proactive checkpoint of its completed
+        progress (priced through the storage timeline), so the resume loses
+        at most the notice-to-eviction window instead of a full checkpoint
+        interval — provided the notice is long enough for the write to
+        drain.  ``rejoin_at`` returns the reclaimed capacity to the pool.
+        """
+        gpu_name = self._require_gpu(gpu_name)
+        if gpu_name not in self._preemptible:
+            raise ValueError(f"GPU {gpu_name!r} is not marked preemptible; call "
+                             f"mark_preemptible first so eviction semantics are explicit")
+        self._require_recovery(at_time, rejoin_at)
+        notice = self._preemptible[gpu_name]
+        if notice > 0.0:
+            self._push(max(0.0, at_time - notice), "spot_notice", (gpu_name, float(at_time)))
+        self._push(at_time, "spot_evict", (gpu_name,))
+        if rejoin_at is not None:
+            self._push(rejoin_at, "gpu_recover", (gpu_name,))
+
+    def set_restart_backoff(self, base_seconds: float, cap_seconds: float) -> None:
+        """Enable capped-exponential restart backoff for failed/evicted jobs.
+
+        The k-th consecutive failure of a job delays its re-queue by
+        ``min(base_seconds * 2**(k-1), cap_seconds)``; a completed iteration
+        resets the job's counter.  Keeps jobs on flapping capacity from
+        thrashing the admission queue with restore reads.
+        """
+        if base_seconds <= 0 or cap_seconds < base_seconds:
+            raise ValueError("backoff needs base_seconds > 0 and cap_seconds >= base_seconds")
+        self.restart_backoff = (float(base_seconds), float(cap_seconds))
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -583,7 +776,10 @@ class ClusterScheduler:
         if record.placed_since is not None:
             record.placed_seconds += now - record.placed_since
             record.placed_since = None
-        rollback_to = record.checkpoint_iteration if job.checkpoint_every else 0
+        # The rollback target is whatever snapshot last committed — periodic
+        # cadence or a proactive spot-notice write; jobs with neither keep
+        # checkpoint_iteration at 0 and restart from scratch.
+        rollback_to = record.checkpoint_iteration
         if record.iterations_done > rollback_to:
             record.iterations_done = rollback_to
             record.samples_processed = record.samples_at_checkpoint if rollback_to > 0 else 0.0
@@ -790,29 +986,39 @@ class ClusterScheduler:
             now, _seq, kind, payload = heapq.heappop(self._heap)
             if sanitizer is not None:
                 sanitizer.check_event("scheduler", now, kind)
-            if kind in ("arrival", "iteration_done", "iteration_batch_done", "ckpt_done"):
-                # Knob events (set_speed/resize) may be timestamped past the
-                # last completed work; they do not extend the makespan.
-                makespan = max(makespan, now)
+            # Only events that commit real work extend the makespan.  Knob
+            # events (set_speed/resize/faults) may be timestamped past the
+            # last completed work, and a *stale* completion — an iteration
+            # invalidated by a failure/preemption/eviction — may carry a
+            # quoted end far beyond the real end of work (e.g. an iteration
+            # priced across a dead ToR uplink), so each completion kind
+            # checks its validity guard before counting.
             if kind == "arrival":
+                makespan = max(makespan, now)
                 (job_name,) = payload
                 self._pending.append(job_name)
                 self._trace(now, "arrival", job=job_name)
                 self._try_place(now)
             elif kind == "ckpt_done":
-                self._apply_ckpt_done(payload, now)
+                if self._apply_ckpt_done(payload, now):
+                    makespan = max(makespan, now)
             elif kind == "iteration_done":
                 job_name, token, duration, ckpt_seconds, ckpt_bytes, ckpt_taken = payload
                 job = self._jobs[job_name]
                 record = self.records[job_name]
                 if token != self._iter_token.get(job_name) or job_name not in self._allocations:
                     continue  # stale event from before a resize/failure/preemption/finish
+                makespan = max(makespan, now)
                 record.iterations_done += 1
                 record.iteration_seconds.append(duration)
                 workers = self._allocations[job_name]
                 record.samples_processed += job.cost_model.batch_size * len(workers)
                 for gpu in workers:
                     self.gpu_busy_seconds[gpu.name] += duration
+                if self._restart_count:
+                    # Completed progress resets the restart backoff (the
+                    # guard keeps the common no-faults path dict-op free).
+                    self._restart_count.pop(job_name, None)
                 if ckpt_taken:
                     record.checkpoints_taken += 1
                     record.checkpoint_seconds += ckpt_seconds
@@ -841,6 +1047,7 @@ class ClusterScheduler:
                 record = self.records[job_name]
                 if token != self._iter_token.get(job_name) or job_name not in self._allocations:
                     continue  # stale event from before a resize/failure/preemption/finish
+                makespan = max(makespan, now)
                 workers = self._allocations[job_name]
                 for duration in durations:
                     record.iterations_done += 1
@@ -848,6 +1055,8 @@ class ClusterScheduler:
                     record.samples_processed += job.cost_model.batch_size * len(workers)
                     for gpu in workers:
                         self.gpu_busy_seconds[gpu.name] += duration
+                if self._restart_count:
+                    self._restart_count.pop(job_name, None)
                 if record.iterations_done >= job.iterations:
                     record.finish_time = now
                     if record.placed_since is not None:
@@ -877,6 +1086,24 @@ class ClusterScheduler:
             elif kind == "resume":
                 (job_name,) = payload
                 self._apply_resume(job_name, now)
+            elif kind == "domain_fail":
+                label, cause, gpus = payload
+                self._apply_domain_failure(label, cause, gpus, now)
+            elif kind == "domain_recover":
+                label, cause, gpus = payload
+                self._apply_domain_recovery(label, cause, gpus, now)
+            elif kind == "link_set_capacity":
+                resource, gbps, reason = payload
+                self._apply_link_capacity(resource, gbps, reason, now)
+            elif kind == "spot_notice":
+                gpu_name, evict_at = payload
+                self._apply_spot_notice(gpu_name, evict_at, now)
+            elif kind == "spot_evict":
+                (gpu_name,) = payload
+                self._apply_spot_eviction(gpu_name, now)
+            elif kind == "requeue":
+                (job_name,) = payload
+                self._apply_requeue(job_name, now)
         if sanitizer is not None:
             sanitizer.verify_pool(self.engine.resources)
         if self.engine.observer is not None:
@@ -889,8 +1116,11 @@ class ClusterScheduler:
                                resources=self.engine.resources.summary(),
                                perf=self.engine.perf_counters())
 
-    def _apply_ckpt_done(self, payload: Tuple, now: float) -> None:
-        """Commit an async checkpoint once its storage write has drained."""
+    def _apply_ckpt_done(self, payload: Tuple, now: float) -> bool:
+        """Commit an async checkpoint once its storage write has drained.
+
+        Returns whether the write committed (dropped writes must not extend
+        the makespan)."""
         job_name, epoch, iteration_index, samples_after, seconds, num_bytes = payload
         record = self.records[job_name]
         if epoch != self._placement_epoch.get(job_name, 0) \
@@ -901,7 +1131,7 @@ class ClusterScheduler:
             # write never becomes a rollback target and must not regress the
             # watermark or double-count.
             self._trace(now, "checkpoint_dropped", job=job_name, iteration=iteration_index)
-            return
+            return False
         record.checkpoints_taken += 1
         record.checkpoint_seconds += seconds
         record.checkpoint_bytes_written += int(num_bytes)
@@ -909,6 +1139,7 @@ class ClusterScheduler:
         record.samples_at_checkpoint = float(samples_after)
         self._trace(now, "checkpoint", job=job_name, iteration=int(iteration_index),
                     seconds=seconds, num_bytes=int(num_bytes), overlapped=True)
+        return True
 
     def _apply_resize(self, job_name: str, delta: int, now: float) -> None:
         record = self.records.get(job_name)
@@ -982,6 +1213,35 @@ class ClusterScheduler:
     # ------------------------------------------------------------------ #
     # Fault tolerance: failures, recovery, preemption
     # ------------------------------------------------------------------ #
+    def _requeue_after_failure(self, job_name: str, now: float) -> None:
+        """Re-queue a descheduled job, immediately or after capped backoff.
+
+        Without :meth:`set_restart_backoff` this is the historical immediate
+        ``_pending.append``.  With it, the job's k-th consecutive failure
+        waits ``min(base * 2**(k-1), cap)`` seconds before a ``requeue``
+        event re-admits it — flapping capacity stops thrashing the queue.
+        """
+        if self.restart_backoff is None:
+            self._pending.append(job_name)
+            return
+        base, cap = self.restart_backoff
+        attempt = self._restart_count.get(job_name, 0) + 1
+        self._restart_count[job_name] = attempt
+        delay = min(base * (2.0 ** (attempt - 1)), cap)
+        self._push(now + delay, "requeue", (job_name,))
+        self._trace(now, "restart_backoff", job=job_name, attempt=attempt, delay=delay)
+
+    def _apply_requeue(self, job_name: str, now: float) -> None:
+        """Admit a backoff-delayed job unless its state moved on meanwhile."""
+        record = self.records[job_name]
+        if (job_name in self._allocations or job_name in self._pending
+                or job_name in self._paused or record.finish_time is not None):
+            self._trace(now, "requeue_ignored", job=job_name)
+            return
+        self._pending.append(job_name)
+        self._trace(now, "job_requeued", job=job_name)
+        self._try_place(now)
+
     def _apply_gpu_failure(self, gpu_name: str, now: float) -> None:
         self._failed_gpus[gpu_name] = None
         self._free.pop(gpu_name, None)
@@ -992,9 +1252,117 @@ class ClusterScheduler:
             record = self.records[job_name]
             record.failures += 1
             self._deschedule(job_name, now)
-            self._pending.append(job_name)
             self._trace(now, "job_failed", job=job_name,
                         restart_iteration=record.iterations_done)
+            self._requeue_after_failure(job_name, now)
+        if victims:
+            self._try_place(now)
+
+    def _apply_domain_failure(self, label: str, cause: str,
+                              gpus: Tuple[str, ...], now: float) -> None:
+        """Atomically fail every GPU of a correlated domain (machine/rack).
+
+        All GPUs are marked down *before* any victim is descheduled, so a
+        job spanning several of them is descheduled exactly once and none
+        of its surviving workers leak back into the free pool mid-event.
+        """
+        for gpu_name in gpus:
+            self._failed_gpus[gpu_name] = None
+            self._free.pop(gpu_name, None)
+        self._trace(now, "domain_failure", label=label, cause=cause, gpus=list(gpus))
+        down = frozenset(gpus)
+        victims = [name for name, alloc in self._allocations.items()
+                   if any(gpu.name in down for gpu in alloc)]
+        for job_name in victims:
+            record = self.records[job_name]
+            record.failures += 1
+            self._deschedule(job_name, now)
+            self._trace(now, "job_failed", job=job_name,
+                        restart_iteration=record.iterations_done, cause=label)
+            self._requeue_after_failure(job_name, now)
+        if victims:
+            self._try_place(now)
+
+    def _apply_domain_recovery(self, label: str, cause: str,
+                               gpus: Tuple[str, ...], now: float) -> None:
+        """Return a failed domain's GPUs to the pool (skipping any already back)."""
+        restored: List[str] = []
+        for gpu_name in gpus:
+            if gpu_name not in self._failed_gpus:
+                continue
+            self._failed_gpus.pop(gpu_name, None)
+            self._free[gpu_name] = next(g for g in self._all_gpus if g.name == gpu_name)
+            restored.append(gpu_name)
+        self._trace(now, "domain_recovered", label=label, cause=cause, gpus=restored)
+        if restored:
+            self._try_place(now)
+
+    def _apply_link_capacity(self, resource: str, gbps: float, reason: str,
+                             now: float) -> None:
+        """Apply a mid-run capacity change to a shared resource's timeline.
+
+        The timeline resweeps its open busy period byte-conservingly
+        (:meth:`~repro.sim.resources.BaseResourceTimeline.set_capacity`);
+        iteration completions already committed to the heap keep their
+        quoted durations, and every iteration priced after this instant sees
+        the new rate (the engine's memo-cache key includes per-link
+        capacity, so stale steady-state entries cannot replay).
+        """
+        timeline = self.engine.resource_timeline(resource)
+        timeline.set_capacity(now, gbps)
+        kind = {"degraded": "link_degraded", "restored": "link_restored",
+                "tor_down": "tor_failure", "tor_up": "tor_recovered"}[reason]
+        self._trace(now, kind, resource=resource, gbps=gbps)
+
+    def _apply_spot_notice(self, gpu_name: str, evict_at: float, now: float) -> None:
+        """React to an eviction notice with a proactive checkpoint.
+
+        The resident job snapshots its *completed* progress through the
+        storage timeline immediately; once the write drains (before the
+        eviction, if the notice window allows) it commits through the
+        ordinary ``ckpt_done`` path and becomes the rollback target, so the
+        resume loses only the notice-to-eviction window.  A notice landing
+        on a job with nothing new since its last snapshot is a no-op.
+        """
+        victim = next((name for name, alloc in self._allocations.items()
+                       if any(gpu.name == gpu_name for gpu in alloc)), None)
+        self._trace(now, "spot_notice", gpu=gpu_name, evict_at=evict_at, job=victim)
+        if victim is None:
+            return
+        job = self._jobs[victim]
+        record = self.records[victim]
+        if record.iterations_done <= record.checkpoint_iteration:
+            return  # nothing new to snapshot
+        last = self._last_proactive.get(victim)
+        if last is not None and times_close(last, now):
+            return  # another notice already snapshotted the job this instant
+        self._last_proactive[victim] = now
+        prefix = job.prefix_at(record.iterations_done)
+        ckpt_bytes = int(job.checkpoint_write_bytes(record.iterations_done, prefix))
+        seconds = self._storage_seconds(job, ckpt_bytes, now, self._allocations[victim],
+                                        kind="checkpoint")
+        self._push(now + seconds, "ckpt_done",
+                   (victim, self._placement_epoch.get(victim, 0),
+                    record.iterations_done, record.samples_processed,
+                    seconds, ckpt_bytes))
+        self._trace(now, "proactive_checkpoint", job=victim,
+                    iteration=record.iterations_done, seconds=seconds,
+                    num_bytes=ckpt_bytes)
+
+    def _apply_spot_eviction(self, gpu_name: str, now: float) -> None:
+        """Reclaim a spot GPU: like a failure, but counted as an eviction."""
+        self._failed_gpus[gpu_name] = None
+        self._free.pop(gpu_name, None)
+        self._trace(now, "spot_evicted", gpu=gpu_name)
+        victims = [name for name, alloc in self._allocations.items()
+                   if any(gpu.name == gpu_name for gpu in alloc)]
+        for job_name in victims:
+            record = self.records[job_name]
+            record.evictions += 1
+            self._deschedule(job_name, now)
+            self._trace(now, "job_evicted", job=job_name,
+                        restart_iteration=record.iterations_done, gpu=gpu_name)
+            self._requeue_after_failure(job_name, now)
         if victims:
             self._try_place(now)
 

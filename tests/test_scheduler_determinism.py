@@ -39,9 +39,48 @@ print(json.dumps(result.as_dict(), sort_keys=True))
 """
 
 
-def _run_with_hash_seed(seed: str) -> str:
+#: A fault-storm scenario exercising the structured fault model end to end:
+#: explicit rack/link/spot events plus a seeded stochastic stream, backoff
+#: and proactive checkpoints — every new code path that iterates over
+#: topology-derived collections.
+_FAULTS_SCRIPT = """
+import json
+from repro.sim import run_scenario
+
+spec = {
+    "cluster": {"num_machines": 4, "gpus_per_machine": 2, "num_tor_switches": 2,
+                "nic_gbps": 1.0, "tor_uplink_gbps": 1.0, "core_gbps": 0.5,
+                "per_tor_fabric": True},
+    "placement": "tor_pack",
+    "jobs": [
+        {"name": "a", "modules": [400000, 800000, 600000], "batch_size": 4,
+         "num_workers": 4, "iterations": 8, "checkpoint_every": 4,
+         "storage": "ckpt-store"},
+        {"name": "b", "modules": [500000, 500000, 500000], "batch_size": 4,
+         "num_workers": 2, "iterations": 8, "arrival_time": 0.3,
+         "checkpoint_every": 4, "storage": "ckpt-store"},
+    ],
+    "faults": {
+        "events": [
+            {"kind": "fail_rack", "at_time": 1.1, "target": 0, "recover_at": 2.6},
+            {"kind": "degrade_link", "at_time": 0.8, "target": "tor1-uplink",
+             "gbps": 0.25, "recover_at": 2.0},
+            {"kind": "spot_evict", "at_time": 3.0, "target": "node3:gpu1",
+             "recover_at": 4.5},
+        ],
+        "spot": {"gpus": ["node3:gpu1"], "notice_seconds": 0.5},
+        "backoff": {"base_seconds": 0.2, "cap_seconds": 2.0},
+        "seed": 1234, "horizon_seconds": 6.0, "mttf_seconds": 1.5,
+        "mttr_seconds": 2.5, "domains": ["gpu", "machine", "link"],
+    },
+}
+print(json.dumps(run_scenario(spec, include_trace=True), sort_keys=True))
+"""
+
+
+def _run_with_hash_seed(script: str, seed: str) -> str:
     proc = subprocess.run(
-        [sys.executable, "-c", _SCRIPT],
+        [sys.executable, "-c", script],
         capture_output=True, text=True,
         env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"})
     assert proc.returncode == 0, proc.stderr
@@ -49,8 +88,19 @@ def _run_with_hash_seed(seed: str) -> str:
 
 
 def test_scheduler_result_is_hash_seed_independent():
-    outputs = {seed: _run_with_hash_seed(seed) for seed in ("0", "1", "31337")}
+    outputs = {seed: _run_with_hash_seed(_SCRIPT, seed) for seed in ("0", "1", "31337")}
     reference = outputs["0"]
     assert "makespan" in reference
+    for seed, output in outputs.items():
+        assert output == reference, f"PYTHONHASHSEED={seed} changed the result"
+
+
+def test_fault_storm_scenario_is_hash_seed_independent():
+    """The fault model replays bit-identically across fresh interpreters."""
+    outputs = {seed: _run_with_hash_seed(_FAULTS_SCRIPT, seed)
+               for seed in ("0", "1", "31337")}
+    reference = outputs["0"]
+    assert "domain_failure" in reference  # the faults actually fired
+    assert "proactive_checkpoint" in reference
     for seed, output in outputs.items():
         assert output == reference, f"PYTHONHASHSEED={seed} changed the result"

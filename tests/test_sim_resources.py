@@ -814,6 +814,127 @@ class TestSchedulerSharedStorage:
 
 
 # --------------------------------------------------------------------------- #
+# Mid-run capacity changes (degraded links, fault model)
+# --------------------------------------------------------------------------- #
+class TestCapacityChanges:
+    def test_fifo_requote_is_byte_conserving_and_piecewise_exact(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=8.0))
+        timeline.reserve(0.0, 2.0, num_bytes=16, job="a")   # in flight at t=1
+        timeline.reserve(0.0, 2.0, num_bytes=16, job="b")   # queued to [2, 4)
+        timeline.set_capacity(1.0, 4.0)                     # half rate at t=1
+        records = {record.job: record for record in timeline.records}
+        # a keeps its start; the second half of its bytes drain at half rate.
+        assert (records["a"].start, records["a"].end) == (0.0, pytest.approx(3.0))
+        # b re-quotes its full duration and re-flows behind a.
+        assert (records["b"].start, records["b"].end) == \
+            (pytest.approx(3.0), pytest.approx(7.0))
+        assert timeline.total_bytes() == 32                 # payload untouched
+        assert timeline.capacity_gbps == 4.0
+        # New quotes price at the degraded rate (no latency on this resource).
+        assert timeline.transfer_seconds(10**9) == pytest.approx(2.0)
+
+    def test_fifo_closed_windows_keep_their_committed_slots(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=8.0))
+        timeline.reserve(0.0, 1.0, num_bytes=8, job="done")
+        timeline.set_capacity(2.0, 2.0)
+        record = timeline.records[0]
+        assert (record.start, record.end) == (0.0, 1.0)  # bytes were on the wire
+
+    def test_restoring_capacity_speeds_queued_windows_back_up(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=8.0))
+        timeline.reserve(0.0, 1.0, num_bytes=8, job="a")
+        timeline.reserve(0.0, 1.0, num_bytes=8, job="b")
+        timeline.set_capacity(0.5, 4.0)   # degrade mid-a
+        timeline.set_capacity(2.0, 8.0)   # restore before b finishes
+        records = {record.job: record for record in timeline.records}
+        assert records["a"].end == pytest.approx(1.5)
+        # b started at 1.5 under the degraded rate, then re-quoted again on
+        # the restore: 0.5s of work remained at t=2.0 of the original 1.0s.
+        assert records["b"].start == pytest.approx(1.5)
+        assert records["b"].end == pytest.approx(2.75)
+        assert timeline.total_bytes() == 16
+
+    def test_capacity_changes_validated(self):
+        timeline = ResourceTimeline(SharedResource("s", bandwidth_gbps=8.0))
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            timeline.set_capacity(1.0, 0.0)
+        timeline.set_capacity(2.0, 4.0)
+        with pytest.raises(ValueError, match="time order"):
+            timeline.set_capacity(1.0, 8.0)
+        assert timeline.capacity_profile() == ((2.0, 0.5),)
+
+    def test_fair_share_capacity_drop_stretches_active_transfers(self):
+        def run(drop):
+            timeline = FairShareTimeline(SharedResource("f", bandwidth_gbps=8.0,
+                                                        policy="fair"))
+            ends = [timeline.reserve(0.0, 2.0, num_bytes=16, job="a")[1]]
+            ends.append(timeline.reserve(0.0, 2.0, num_bytes=16, job="b")[1])
+            if drop:
+                timeline.set_capacity(1.0, 4.0)
+            return timeline
+
+        clean, dropped = run(False), run(True)
+        assert clean.total_bytes() == dropped.total_bytes() == 32
+        # Both transfers share the link, so both finish later than the
+        # no-fault run; service rendered before the change is untouched.
+        for job in ("a", "b"):
+            clean_end = max(r.end for r in clean.records if r.job == job)
+            dropped_end = max(r.end for r in dropped.records if r.job == job)
+            assert dropped_end > clean_end
+
+    def test_fair_share_sole_transfer_integrates_the_profile_exactly(self):
+        timeline = FairShareTimeline(SharedResource("f", bandwidth_gbps=8.0,
+                                                    policy="fair"))
+        _start, end = timeline.reserve(0.0, 4.0, num_bytes=32, job="a")
+        assert end == pytest.approx(4.0)
+        timeline.set_capacity(2.0, 4.0)  # half rate with 2s of work left
+        new_end = max(record.end for record in timeline.records)
+        assert new_end == pytest.approx(6.0)  # 2s done + 2s of work at 1/2 rate
+
+    def test_scheduler_level_degradation_conserves_bytes(self):
+        """End to end: a degraded link changes timing, never byte accounting."""
+        def run(degrade):
+            cluster = Cluster(ClusterSpec(num_machines=2, gpus_per_machine=2,
+                                          nic_gbps=1.0, tor_uplink_gbps=1.0))
+            scheduler = ClusterScheduler(cluster)
+            scheduler.submit(SimJob("a", make_cost_model(), num_workers=4,
+                                    iterations=6, checkpoint_every=2,
+                                    storage="ckpt-store"))
+            if degrade:
+                # The clean run takes ~0.022s; degrade mid-run, restore late.
+                scheduler.degrade_link("fabric", gbps=0.2, at_time=0.005,
+                                       restore_at=0.015)
+            return scheduler.run()
+
+        clean, degraded = run(False), run(True)
+        assert degraded.makespan > clean.makespan
+        for name in ("fabric", "ckpt-store"):
+            assert degraded.resources[name]["total_bytes"] == \
+                clean.resources[name]["total_bytes"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10**8), min_size=1,
+                       max_size=6),
+        change_at=st.floats(min_value=0.01, max_value=5.0),
+        factor=st.floats(min_value=0.05, max_value=4.0),
+        policy=st.sampled_from(["fifo", "fair"]),
+    )
+    def test_requote_conserves_bytes_under_any_change(self, sizes, change_at,
+                                                      factor, policy):
+        resource = SharedResource("r", bandwidth_gbps=8.0, policy=policy)
+        timeline = build_timeline(resource)
+        for index, num_bytes in enumerate(sizes):
+            timeline.reserve_bytes(0.25 * index, num_bytes, job=f"j{index % 3}")
+        before = timeline.bytes_by_job()
+        timeline.set_capacity(change_at, 8.0 * factor)
+        assert timeline.bytes_by_job() == before
+        assert timeline.total_bytes() == sum(sizes)
+        for record in timeline.records:
+            assert record.end >= record.start >= 0.0
+
+
+# --------------------------------------------------------------------------- #
 # TrainerJob: a real trainer inside the simulated cluster
 # --------------------------------------------------------------------------- #
 class TestTrainerJob:
